@@ -1,0 +1,141 @@
+//! Cache-coherence overhead model (paper §3.1, §4.1).
+//!
+//! Monolithic (package-wide) hardware coherence costs every miss a
+//! potential directory indirection and remote-cache access across the ICN,
+//! plus invalidation traffic on writes to shared lines. Village-scale
+//! coherence keeps all of that within an 8-core snooping domain. The paper
+//! deliberately hands the ScaleOut baseline a favourable setup — requests
+//! only migrate within a 32-core cluster — which is why the villages
+//! technique alone buys a modest ~10% (Figure 15); this model reproduces
+//! that calibration.
+
+use um_sim::Cycles;
+
+/// Coherence cost parameters for one machine.
+///
+/// The model charges an *aggregate per-compute-segment* overhead: a
+/// fraction of memory accesses miss privately and require directory +
+/// remote-cache service whose latency grows with the domain's network
+/// distance.
+///
+/// # Examples
+///
+/// ```
+/// use um_arch::coherence::CoherenceModel;
+/// use um_sim::Cycles;
+///
+/// let village = CoherenceModel::village();
+/// let global = CoherenceModel::global_1024();
+/// let segment = Cycles::new(200_000); // 100us at 2GHz
+/// assert!(global.overhead(segment) > village.overhead(segment));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CoherenceModel {
+    /// Cores per coherence domain.
+    pub domain_cores: usize,
+    /// Fraction of compute cycles added by coherence activity (directory
+    /// lookups, remote hits, invalidations) for a request that stays on
+    /// one core.
+    pub base_overhead: f64,
+    /// Additional fraction charged when a request resumes on a *different*
+    /// core of the domain (its warm state must be fetched from the old
+    /// core's caches — §4.1's migration argument).
+    pub migration_overhead: f64,
+}
+
+impl CoherenceModel {
+    /// uManycore village: an 8-core snooping domain; near-zero cost and
+    /// cheap intra-village migration.
+    pub fn village() -> Self {
+        Self {
+            domain_cores: 8,
+            base_overhead: 0.005,
+            migration_overhead: 0.01,
+        }
+    }
+
+    /// Global coherence across 1024 cores, with migration restricted to a
+    /// 32-core cluster (the paper's favourable ScaleOut setup): directory
+    /// indirections on misses, moderate migration cost.
+    pub fn global_1024() -> Self {
+        Self {
+            domain_cores: 1024,
+            base_overhead: 0.035,
+            migration_overhead: 0.05,
+        }
+    }
+
+    /// Global coherence across a few tens of cores (ServerClass): smaller
+    /// distances than the 1024-core case.
+    pub fn global_small(cores: usize) -> Self {
+        Self {
+            domain_cores: cores,
+            base_overhead: 0.02,
+            migration_overhead: 0.03,
+        }
+    }
+
+    /// Coherence cycles added to a compute segment of length `segment`,
+    /// when the request resumed on the same core it last ran on.
+    pub fn overhead(&self, segment: Cycles) -> Cycles {
+        segment.scale(self.base_overhead)
+    }
+
+    /// Coherence cycles added when the request migrated to a different
+    /// core since it last ran.
+    pub fn overhead_migrated(&self, segment: Cycles) -> Cycles {
+        segment.scale(self.base_overhead + self.migration_overhead)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn village_cheaper_than_global() {
+        let seg = Cycles::new(100_000);
+        assert!(
+            CoherenceModel::village().overhead(seg)
+                < CoherenceModel::global_1024().overhead(seg)
+        );
+        assert!(
+            CoherenceModel::village().overhead_migrated(seg)
+                < CoherenceModel::global_1024().overhead_migrated(seg)
+        );
+    }
+
+    #[test]
+    fn migration_costs_extra() {
+        let m = CoherenceModel::global_1024();
+        let seg = Cycles::new(50_000);
+        assert!(m.overhead_migrated(seg) > m.overhead(seg));
+    }
+
+    #[test]
+    fn village_effect_is_modest() {
+        // Figure 15: villages alone reduce tail latency by ~10%. The
+        // per-segment delta between global and village coherence must be
+        // single-digit percent, not transformative.
+        let seg = Cycles::new(1_000_000);
+        let global = CoherenceModel::global_1024().overhead_migrated(seg);
+        let village = CoherenceModel::village().overhead_migrated(seg);
+        let delta = (global.raw() as f64 - village.raw() as f64) / seg.raw() as f64;
+        assert!((0.02..0.12).contains(&delta), "coherence delta {delta}");
+    }
+
+    #[test]
+    fn zero_segment_zero_overhead() {
+        let m = CoherenceModel::global_1024();
+        assert_eq!(m.overhead(Cycles::ZERO), Cycles::ZERO);
+    }
+
+    #[test]
+    fn server_class_between_village_and_manycore_global() {
+        let seg = Cycles::new(100_000);
+        let v = CoherenceModel::village().overhead(seg);
+        let s = CoherenceModel::global_small(40).overhead(seg);
+        let g = CoherenceModel::global_1024().overhead(seg);
+        assert!(v < s && s < g);
+    }
+}

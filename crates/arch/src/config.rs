@@ -1,0 +1,356 @@
+//! Machine configurations (Table 2, §5, §6.6).
+
+use crate::core_model::CoreModel;
+use crate::power;
+use um_mem::hierarchy::HierarchyConfig;
+use um_sched::CtxSwitchModel;
+use um_sim::Cycles;
+
+/// Which of the paper's three machines a configuration describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MachineKind {
+    /// Conventional server-class multicore (IceLake-like).
+    ServerClass,
+    /// 1024-core manycore with global coherence and software scheduling.
+    ScaleOut,
+    /// The paper's proposal.
+    UManycore,
+}
+
+/// Which on-package ICN the machine uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum IcnKind {
+    /// 2D mesh (ServerClass).
+    Mesh,
+    /// Fat tree (ScaleOut).
+    FatTree,
+    /// Hierarchical leaf-spine (uManycore).
+    LeafSpine,
+}
+
+/// Extent of hardware cache coherence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CoherenceDomain {
+    /// One coherence domain across the whole package.
+    Global,
+    /// Coherence only within a village (uManycore).
+    Village,
+}
+
+/// Core/village/cluster shape — the §6.6 sensitivity axis.
+///
+/// # Examples
+///
+/// ```
+/// use um_arch::TopologyShape;
+///
+/// let shape = TopologyShape::new(8, 4, 32); // the default uManycore
+/// assert_eq!(shape.total_cores(), 1024);
+/// assert_eq!(shape.total_villages(), 128);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TopologyShape {
+    /// Cores per village (one hardware coherence domain).
+    pub cores_per_village: usize,
+    /// Villages per cluster (sharing a memory pool and network hub).
+    pub villages_per_cluster: usize,
+    /// Clusters in the package (= ICN endpoints).
+    pub clusters: usize,
+}
+
+impl TopologyShape {
+    /// Creates a shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub const fn new(
+        cores_per_village: usize,
+        villages_per_cluster: usize,
+        clusters: usize,
+    ) -> Self {
+        assert!(cores_per_village > 0, "cores per village must be nonzero");
+        assert!(villages_per_cluster > 0, "villages per cluster must be nonzero");
+        assert!(clusters > 0, "clusters must be nonzero");
+        Self {
+            cores_per_village,
+            villages_per_cluster,
+            clusters,
+        }
+    }
+
+    /// Total cores in the package.
+    pub const fn total_cores(&self) -> usize {
+        self.cores_per_village * self.villages_per_cluster * self.clusters
+    }
+
+    /// Total villages in the package.
+    pub const fn total_villages(&self) -> usize {
+        self.villages_per_cluster * self.clusters
+    }
+
+    /// The Figure 19 sensitivity sweep: (cores/village x villages/cluster
+    /// x clusters), all 1024 cores total.
+    pub const FIG19_SWEEP: [TopologyShape; 4] = [
+        TopologyShape::new(8, 4, 32),
+        TopologyShape::new(32, 1, 32),
+        TopologyShape::new(32, 2, 16),
+        TopologyShape::new(32, 4, 8),
+    ];
+
+    /// Render as the paper's `8 x 4 x 32` label.
+    pub fn label(&self) -> String {
+        format!(
+            "{}x{}x{}",
+            self.cores_per_village, self.villages_per_cluster, self.clusters
+        )
+    }
+}
+
+/// Core heterogeneity across villages (paper §8's future-work proposal:
+/// "some villages might have bigger cores ... tailoring the hardware to
+/// the needs of the service instances").
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum VillageCores {
+    /// Every village runs the machine's base core (the paper's default).
+    Homogeneous,
+    /// The first `big_villages` villages run `big_core`; services with the
+    /// heaviest handlers are steered to them.
+    Heterogeneous {
+        /// Number of big-core villages.
+        big_villages: usize,
+        /// The big core's microarchitecture.
+        big_core: CoreModel,
+    },
+}
+
+/// A complete machine description consumed by the system simulator.
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// Which paper machine this is.
+    pub kind: MachineKind,
+    /// Report label, e.g. `uManycore`.
+    pub name: &'static str,
+    /// Core microarchitecture.
+    pub core: CoreModel,
+    /// Cores/villages/clusters layout.
+    pub shape: TopologyShape,
+    /// Cache/TLB hierarchy.
+    pub hierarchy: HierarchyConfig,
+    /// On-package interconnect.
+    pub icn: IcnKind,
+    /// Context-switch mechanism.
+    pub ctx_switch: CtxSwitchModel,
+    /// Whether request enqueue/dequeue/scheduling happen in hardware
+    /// (§4.3) or in software.
+    pub hw_scheduling: bool,
+    /// Per-scheduling-operation cost (enqueue or dequeue).
+    pub sched_op_cost: Cycles,
+    /// Hardware Request Queue entries per village.
+    pub rq_capacity: usize,
+    /// Coherence domain extent.
+    pub coherence: CoherenceDomain,
+    /// Whether clusters carry a snapshot memory pool (§4.1).
+    pub memory_pool: bool,
+    /// Village core heterogeneity (§8 extension).
+    pub village_cores: VillageCores,
+}
+
+/// Hardware scheduling operations take ~a cache access (§4.3: an atomic RQ
+/// access).
+const HW_SCHED_OP: Cycles = Cycles::new(8);
+/// Software scheduling operations: optimized queue manipulation plus
+/// NIC-to-core hand-off, per \[32, 77\]-style optimizations in the baselines.
+const SW_SCHED_OP: Cycles = Cycles::new(250);
+
+impl MachineConfig {
+    /// The default 1024-core uManycore (§5): 8-core villages, 4 villages
+    /// per cluster, 32 clusters, leaf-spine ICN, hardware scheduling and
+    /// hardware context switching.
+    pub fn umanycore() -> Self {
+        Self::umanycore_shaped(TopologyShape::new(8, 4, 32))
+    }
+
+    /// A uManycore with a different village/cluster shape (Figure 19).
+    pub fn umanycore_shaped(shape: TopologyShape) -> Self {
+        Self {
+            kind: MachineKind::UManycore,
+            name: "uManycore",
+            core: CoreModel::manycore(),
+            shape,
+            hierarchy: HierarchyConfig::manycore(),
+            icn: IcnKind::LeafSpine,
+            ctx_switch: CtxSwitchModel::Hardware,
+            hw_scheduling: true,
+            sched_op_cost: HW_SCHED_OP,
+            rq_capacity: 64,
+            coherence: CoherenceDomain::Village,
+            memory_pool: true,
+            village_cores: VillageCores::Homogeneous,
+        }
+    }
+
+    /// The ScaleOut baseline (§5): same cores and caches as uManycore, but
+    /// global coherence, a fat-tree ICN, software scheduling with one queue
+    /// per 32-core cluster, and software context switching.
+    pub fn scaleout() -> Self {
+        Self {
+            kind: MachineKind::ScaleOut,
+            name: "ScaleOut",
+            core: CoreModel::manycore(),
+            shape: TopologyShape::new(32, 1, 32),
+            hierarchy: HierarchyConfig::manycore(),
+            icn: IcnKind::FatTree,
+            ctx_switch: CtxSwitchModel::Shinjuku,
+            hw_scheduling: false,
+            sched_op_cost: SW_SCHED_OP,
+            rq_capacity: 64,
+            coherence: CoherenceDomain::Global,
+            memory_pool: false,
+            village_cores: VillageCores::Homogeneous,
+        }
+    }
+
+    /// The iso-power ServerClass baseline: 40 IceLake-class cores — "like
+    /// a current high-end IceLake" (§5).
+    pub fn server_class_iso_power() -> Self {
+        Self::server_class(40)
+    }
+
+    /// The iso-area ServerClass baseline: 128 cores, an "unrealistically
+    /// power-hungry multicore" (§5, §6.8).
+    pub fn server_class_iso_area() -> Self {
+        Self::server_class(128)
+    }
+
+    /// A ServerClass machine with an arbitrary core count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    pub fn server_class(cores: usize) -> Self {
+        assert!(cores > 0, "need at least one core");
+        // Group cores into 8-core mesh nodes (last node may be partial in
+        // odd sizes; the paper's sizes divide evenly).
+        let nodes = cores.div_ceil(8);
+        Self {
+            kind: MachineKind::ServerClass,
+            name: "ServerClass",
+            core: CoreModel::server_class(),
+            shape: TopologyShape::new(cores.div_ceil(nodes), 1, nodes),
+            hierarchy: HierarchyConfig::server_class(),
+            icn: IcnKind::Mesh,
+            ctx_switch: CtxSwitchModel::Shinjuku,
+            hw_scheduling: false,
+            sched_op_cost: SW_SCHED_OP,
+            rq_capacity: 64,
+            coherence: CoherenceDomain::Global,
+            memory_pool: false,
+            village_cores: VillageCores::Homogeneous,
+        }
+    }
+
+    /// A uManycore where `big_villages` of the villages carry IceLake-class
+    /// cores clocked at the package frequency — the §8 heterogeneous
+    /// proposal. Heavy services are steered to the big villages by the
+    /// system software (modelled in the simulator's ServiceMap setup).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `big_villages` exceeds the village count.
+    pub fn umanycore_heterogeneous(big_villages: usize) -> Self {
+        let mut m = Self::umanycore();
+        assert!(
+            big_villages <= m.shape.total_villages(),
+            "{big_villages} big villages > {} total",
+            m.shape.total_villages()
+        );
+        let mut big_core = CoreModel::server_class();
+        // Same clock domain as the package; the win is the wider pipeline.
+        big_core.frequency = m.core.frequency;
+        m.village_cores = VillageCores::Heterogeneous {
+            big_villages,
+            big_core,
+        };
+        m.name = "uManycore-hetero";
+        m
+    }
+
+    /// Total cores in the package.
+    pub fn total_cores(&self) -> usize {
+        self.shape.total_cores()
+    }
+
+    /// Package power from the analytic model, in watts.
+    pub fn power_watts(&self) -> f64 {
+        power::package_power_watts(self)
+    }
+
+    /// Package area from the analytic model, in square millimetres.
+    pub fn area_mm2(&self) -> f64 {
+        power::package_area_mm2(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn umanycore_matches_section5() {
+        let m = MachineConfig::umanycore();
+        assert_eq!(m.total_cores(), 1024);
+        assert_eq!(m.shape.total_villages(), 128);
+        assert_eq!(m.shape.clusters, 32);
+        assert_eq!(m.rq_capacity, 64);
+        assert!(m.hw_scheduling);
+        assert_eq!(m.coherence, CoherenceDomain::Village);
+        assert_eq!(m.icn, IcnKind::LeafSpine);
+    }
+
+    #[test]
+    fn scaleout_matches_section5() {
+        let m = MachineConfig::scaleout();
+        assert_eq!(m.total_cores(), 1024);
+        assert_eq!(m.shape.clusters, 32);
+        assert_eq!(m.shape.cores_per_village, 32); // one queue per cluster
+        assert!(!m.hw_scheduling);
+        assert_eq!(m.coherence, CoherenceDomain::Global);
+        assert_eq!(m.icn, IcnKind::FatTree);
+    }
+
+    #[test]
+    fn server_class_sizes() {
+        assert_eq!(MachineConfig::server_class_iso_power().total_cores(), 40);
+        assert_eq!(MachineConfig::server_class_iso_area().total_cores(), 128);
+    }
+
+    #[test]
+    fn fig19_sweep_is_all_1024_cores() {
+        for shape in TopologyShape::FIG19_SWEEP {
+            assert_eq!(shape.total_cores(), 1024, "{}", shape.label());
+        }
+    }
+
+    #[test]
+    fn shape_labels() {
+        assert_eq!(TopologyShape::new(8, 4, 32).label(), "8x4x32");
+    }
+
+    #[test]
+    fn sched_op_costs_differ() {
+        let um = MachineConfig::umanycore();
+        let so = MachineConfig::scaleout();
+        assert!(um.sched_op_cost < so.sched_op_cost);
+    }
+
+    #[test]
+    fn manycore_cores_match_table2() {
+        let m = MachineConfig::umanycore();
+        assert_eq!(m.core.issue_width, 4);
+        assert_eq!(m.core.rob_entries, 64);
+        let s = MachineConfig::server_class_iso_power();
+        assert_eq!(s.core.issue_width, 6);
+        assert_eq!(s.core.rob_entries, 352);
+    }
+}

@@ -1,0 +1,136 @@
+//! First-order core timing model (Table 2).
+//!
+//! The paper's two core types are an ARM A15-class 4-issue, 64-entry-ROB
+//! core at 2 GHz (uManycore, ScaleOut) and an IceLake-class 6-issue,
+//! 352-entry-ROB core at 3 GHz (ServerClass). We model relative
+//! single-thread performance with the classic first-order scaling laws:
+//! sustainable IPC grows roughly with the square root of issue width
+//! (dependency-limited), and with a weak power of window (ROB) size
+//! (memory-level parallelism).
+
+use um_sim::{Cycles, Frequency};
+
+/// An out-of-order core's microarchitectural parameters.
+///
+/// # Examples
+///
+/// ```
+/// use um_arch::CoreModel;
+///
+/// let small = CoreModel::manycore();      // A15-class
+/// let big = CoreModel::server_class();    // IceLake-class
+/// let speedup = big.speedup_over(&small);
+/// assert!(speedup > 1.5 && speedup < 3.5, "speedup {speedup}");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CoreModel {
+    /// Instructions issued per cycle.
+    pub issue_width: u32,
+    /// Reorder-buffer entries.
+    pub rob_entries: u32,
+    /// Load/store-queue entries.
+    pub lsq_entries: u32,
+    /// Core clock.
+    pub frequency: Frequency,
+}
+
+impl CoreModel {
+    /// The uManycore / ScaleOut core (Table 2): 4-issue, 64-entry ROB and
+    /// LSQ, 2 GHz — "simple, energy-efficient cores similar to ARM A15".
+    pub fn manycore() -> Self {
+        Self {
+            issue_width: 4,
+            rob_entries: 64,
+            lsq_entries: 64,
+            frequency: Frequency::ghz(2.0),
+        }
+    }
+
+    /// The ServerClass core (Table 2): 6-issue, 352-entry ROB, 256-entry
+    /// LSQ, 3 GHz — "similar to Intel's IceLake".
+    pub fn server_class() -> Self {
+        Self {
+            issue_width: 6,
+            rob_entries: 352,
+            lsq_entries: 256,
+            frequency: Frequency::ghz(3.0),
+        }
+    }
+
+    /// Relative sustainable IPC versus a reference core, from first-order
+    /// scaling: `sqrt(issue ratio) * (rob ratio)^0.15`.
+    pub fn ipc_ratio_over(&self, reference: &CoreModel) -> f64 {
+        let issue = (self.issue_width as f64 / reference.issue_width as f64).sqrt();
+        let window = (self.rob_entries as f64 / reference.rob_entries as f64).powf(0.15);
+        issue * window
+    }
+
+    /// Single-thread speedup over a reference core (IPC ratio x frequency
+    /// ratio).
+    pub fn speedup_over(&self, reference: &CoreModel) -> f64 {
+        self.ipc_ratio_over(reference)
+            * (self.frequency.as_ghz() / reference.frequency.as_ghz())
+    }
+
+    /// Converts a compute duration expressed in *reference-core
+    /// microseconds* (the workload crate's unit: the 2 GHz manycore core)
+    /// into cycles on this core.
+    pub fn compute_cycles(&self, reference_us: f64) -> Cycles {
+        let us_here = reference_us / self.speedup_over(&CoreModel::manycore());
+        Cycles::from_micros(us_here, self.frequency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn server_core_roughly_2x_manycore() {
+        // McPAT-class models put IceLake-class vs A15-class single-thread
+        // at about 2-2.5x; our first-order law should land there.
+        let s = CoreModel::server_class().speedup_over(&CoreModel::manycore());
+        assert!((2.0..2.8).contains(&s), "speedup {s}");
+    }
+
+    #[test]
+    fn self_speedup_is_one() {
+        let c = CoreModel::manycore();
+        assert!((c.speedup_over(&c) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_is_reciprocal() {
+        let a = CoreModel::manycore();
+        let b = CoreModel::server_class();
+        let ab = a.speedup_over(&b);
+        let ba = b.speedup_over(&a);
+        assert!((ab * ba - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compute_cycles_on_reference_core() {
+        // 100us on the 2GHz reference core = 200K cycles.
+        let c = CoreModel::manycore();
+        assert_eq!(c.compute_cycles(100.0), Cycles::new(200_000));
+    }
+
+    #[test]
+    fn compute_cycles_on_server_core_fewer_wallclock_micros() {
+        let s = CoreModel::server_class();
+        let cycles = s.compute_cycles(100.0);
+        let us = cycles.as_micros(s.frequency);
+        // The faster core finishes the same work in less wall time.
+        assert!(us < 100.0, "server-class took {us}us");
+        assert!(us > 30.0, "implausibly fast: {us}us");
+    }
+
+    #[test]
+    fn wider_issue_helps_sublinearly() {
+        let narrow = CoreModel::manycore();
+        let mut wide = narrow;
+        wide.issue_width = 16;
+        let ratio = wide.ipc_ratio_over(&narrow);
+        assert!(ratio > 1.0 && ratio < 4.0, "4x issue gave {ratio}x IPC");
+    }
+}

@@ -1,0 +1,248 @@
+//! Analytic area and power model (substituting CACTI \[5\] + McPAT \[46\]).
+//!
+//! The paper sizes its baselines with CACTI/McPAT at 32 nm scaled to 10 nm
+//! \[76\], reporting these anchors (§5, §6.8):
+//!
+//! - combined per-core power (core + its cache share): **10.225 W**
+//!   ServerClass, **0.396 W** ScaleOut, **0.408 W** uManycore;
+//! - package area: **547.2 mm²** uManycore vs **176.1 mm²** for the
+//!   40-core ServerClass (3.1x), with uManycore 2.9% larger than ScaleOut;
+//! - the 128-core iso-area ServerClass burns **3.2x** the power of
+//!   uManycore.
+//!
+//! We fit first-order scaling laws to those anchors: dynamic+static core
+//! power grows with `issue^2.5 * (rob/64)^0.6 * (f/2GHz)^3` (the cubic
+//! frequency term folds in the voltage scaling high-frequency designs
+//! require), core area with `issue^2 * (rob/64)^0.6`, and cache power/area
+//! linearly with capacity. uManycore pays small adders for its Request
+//! Queues, context memories and per-cluster snapshot pools. The tests pin
+//! every published anchor to within a few percent.
+
+use crate::config::{MachineConfig, MachineKind};
+use crate::core_model::CoreModel;
+
+/// Fitted core power coefficient (watts at 4-issue/64-ROB/2 GHz = 32 units).
+const POWER_COEFF_W: f64 = 0.010_91;
+/// Cache power density, watts per MB (leakage + activity at 10 nm).
+const CACHE_W_PER_MB: f64 = 0.30;
+/// Fitted core area coefficient (mm² per issue² unit).
+const AREA_COEFF_MM2: f64 = 0.029;
+/// SRAM area density, mm² per MB at 10 nm.
+const CACHE_MM2_PER_MB: f64 = 0.35;
+/// Per-village uManycore adders: Request Queue + Request Context Memory +
+/// Work-flag logic.
+const VILLAGE_EXTRA_W: f64 = 0.05;
+const VILLAGE_EXTRA_MM2: f64 = 0.06;
+/// Per-cluster uManycore adders: snapshot memory pool + bulk-transfer
+/// engines.
+const CLUSTER_EXTRA_W: f64 = 0.18;
+const CLUSTER_EXTRA_MM2: f64 = 0.24;
+
+/// Power of one core (without caches), in watts.
+pub fn core_power_watts(core: &CoreModel) -> f64 {
+    let issue = (core.issue_width as f64).powf(2.5);
+    let window = (core.rob_entries as f64 / 64.0).powf(0.6);
+    let freq = (core.frequency.as_ghz() / 2.0).powi(3);
+    POWER_COEFF_W * issue * window * freq
+}
+
+/// Area of one core (without caches), in mm².
+pub fn core_area_mm2(core: &CoreModel) -> f64 {
+    let issue = (core.issue_width as f64).powi(2);
+    let window = (core.rob_entries as f64 / 64.0).powf(0.6);
+    AREA_COEFF_MM2 * issue * window
+}
+
+/// Cache capacity charged to one core, in MB.
+///
+/// ServerClass: private L1s + private L2 + its 2 MB L3 slice. Manycore
+/// machines: private L1s + 1/8 of the village-shared L2 (§5: "L2 caches
+/// shared by 8 cores").
+pub fn cache_mb_per_core(config: &MachineConfig) -> f64 {
+    let h = &config.hierarchy;
+    let l1 = (h.l1i.size_bytes() + h.l1d.size_bytes()) as f64;
+    let bytes = match config.kind {
+        MachineKind::ServerClass => {
+            l1 + h.l2.size_bytes() as f64
+                + h.l3.map(|c| c.size_bytes() as f64).unwrap_or(0.0)
+        }
+        MachineKind::ScaleOut | MachineKind::UManycore => {
+            l1 + h.l2.size_bytes() as f64 / 8.0
+        }
+    };
+    bytes / (1024.0 * 1024.0)
+}
+
+/// Combined power of one core plus its cache share — the paper's per-core
+/// figure (10.225 / 0.396 / 0.408 W).
+pub fn per_core_power_watts(config: &MachineConfig) -> f64 {
+    let base = core_power_watts(&config.core) + cache_mb_per_core(config) * CACHE_W_PER_MB;
+    base + extras_watts(config) / config.total_cores() as f64
+}
+
+fn extras_watts(config: &MachineConfig) -> f64 {
+    if config.kind != MachineKind::UManycore {
+        return 0.0;
+    }
+    config.shape.total_villages() as f64 * VILLAGE_EXTRA_W
+        + config.shape.clusters as f64 * CLUSTER_EXTRA_W
+}
+
+fn extras_mm2(config: &MachineConfig) -> f64 {
+    if config.kind != MachineKind::UManycore {
+        return 0.0;
+    }
+    config.shape.total_villages() as f64 * VILLAGE_EXTRA_MM2
+        + config.shape.clusters as f64 * CLUSTER_EXTRA_MM2
+}
+
+/// Number of cores running a big core in a heterogeneous configuration.
+fn big_cores(config: &MachineConfig) -> (usize, Option<crate::CoreModel>) {
+    match config.village_cores {
+        crate::config::VillageCores::Heterogeneous {
+            big_villages,
+            big_core,
+        } => (big_villages * config.shape.cores_per_village, Some(big_core)),
+        crate::config::VillageCores::Homogeneous => (0, None),
+    }
+}
+
+/// Total package power in watts.
+pub fn package_power_watts(config: &MachineConfig) -> f64 {
+    let cache_w = cache_mb_per_core(config) * CACHE_W_PER_MB;
+    let base = core_power_watts(&config.core) + cache_w;
+    let (n_big, big) = big_cores(config);
+    let small_total = base * (config.total_cores() - n_big) as f64;
+    let big_total = big
+        .map(|c| (core_power_watts(&c) + cache_w) * n_big as f64)
+        .unwrap_or(0.0);
+    small_total + big_total + extras_watts(config)
+}
+
+/// Total package area in mm².
+pub fn package_area_mm2(config: &MachineConfig) -> f64 {
+    let cache_a = cache_mb_per_core(config) * CACHE_MM2_PER_MB;
+    let base = core_area_mm2(&config.core) + cache_a;
+    let (n_big, big) = big_cores(config);
+    let small_total = base * (config.total_cores() - n_big) as f64;
+    let big_total = big
+        .map(|c| (core_area_mm2(&c) + cache_a) * n_big as f64)
+        .unwrap_or(0.0);
+    small_total + big_total + extras_mm2(config)
+}
+
+/// ServerClass core count with the same power budget as `reference`
+/// (rounded down to a whole 8-core mesh node).
+pub fn iso_power_server_cores(reference: &MachineConfig) -> usize {
+    let budget = package_power_watts(reference);
+    let probe = MachineConfig::server_class(8);
+    let per_core = package_power_watts(&probe) / 8.0;
+    let cores = (budget / per_core) as usize;
+    (cores / 8).max(1) * 8
+}
+
+/// ServerClass core count with the same die area as `reference` (rounded
+/// to the nearest whole 8-core mesh node).
+pub fn iso_area_server_cores(reference: &MachineConfig) -> usize {
+    let budget = package_area_mm2(reference);
+    let probe = MachineConfig::server_class(8);
+    let per_core = package_area_mm2(&probe) / 8.0;
+    let cores = (budget / per_core).round() as usize;
+    (cores as f64 / 8.0).round().max(1.0) as usize * 8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn within(actual: f64, target: f64, tol: f64) -> bool {
+        (actual - target).abs() / target < tol
+    }
+
+    #[test]
+    fn per_core_power_anchors() {
+        // Paper §5: 10.225 W ServerClass, 0.396 W ScaleOut, 0.408 W
+        // uManycore.
+        let sc = per_core_power_watts(&MachineConfig::server_class_iso_power());
+        let so = per_core_power_watts(&MachineConfig::scaleout());
+        let um = per_core_power_watts(&MachineConfig::umanycore());
+        assert!(within(sc, 10.225, 0.05), "ServerClass per-core {sc} W");
+        assert!(within(so, 0.396, 0.05), "ScaleOut per-core {so} W");
+        assert!(within(um, 0.408, 0.05), "uManycore per-core {um} W");
+    }
+
+    #[test]
+    fn area_anchors() {
+        // Paper §6.8: 547.2 mm2 uManycore vs 176.1 mm2 for 40-core
+        // ServerClass (3.1x), and uManycore 2.9% larger than ScaleOut.
+        let um = package_area_mm2(&MachineConfig::umanycore());
+        let sc40 = package_area_mm2(&MachineConfig::server_class_iso_power());
+        let so = package_area_mm2(&MachineConfig::scaleout());
+        assert!(within(um, 547.2, 0.05), "uManycore area {um}");
+        assert!(within(sc40, 176.1, 0.05), "ServerClass-40 area {sc40}");
+        assert!(within(um / sc40, 3.1, 0.06), "area ratio {}", um / sc40);
+        let overhead = um / so - 1.0;
+        assert!(
+            (0.015..0.045).contains(&overhead),
+            "village/pool area overhead {overhead}, paper 2.9%"
+        );
+    }
+
+    #[test]
+    fn iso_power_gives_40_cores() {
+        let um = MachineConfig::umanycore();
+        assert_eq!(iso_power_server_cores(&um), 40);
+    }
+
+    #[test]
+    fn iso_area_gives_128_cores() {
+        let um = MachineConfig::umanycore();
+        assert_eq!(iso_area_server_cores(&um), 128);
+    }
+
+    #[test]
+    fn iso_area_server_is_3_2x_power() {
+        // §6.8: the 128-core ServerClass uses 3.2x the power of uManycore.
+        let um = package_power_watts(&MachineConfig::umanycore());
+        let sc128 = package_power_watts(&MachineConfig::server_class_iso_area());
+        let ratio = sc128 / um;
+        assert!(within(ratio, 3.2, 0.06), "power ratio {ratio}");
+    }
+
+    #[test]
+    fn umanycore_extras_are_small() {
+        // The RQ/pool adders are ~3% of package power, not a dominant term.
+        let um = MachineConfig::umanycore();
+        let frac = (per_core_power_watts(&um)
+            - per_core_power_watts(&MachineConfig::scaleout()))
+            / per_core_power_watts(&um);
+        assert!((0.0..0.10).contains(&frac), "extras fraction {frac}");
+    }
+
+    #[test]
+    fn heterogeneous_villages_cost_power_and_area() {
+        let homo = MachineConfig::umanycore();
+        let hetero = MachineConfig::umanycore_heterogeneous(16);
+        assert!(hetero.power_watts() > homo.power_watts());
+        assert!(hetero.area_mm2() > homo.area_mm2());
+        // 16 of 128 villages with ~7x-power cores (at 2 GHz) should cost
+        // well under a 2x package-power increase.
+        assert!(hetero.power_watts() < 2.0 * homo.power_watts());
+    }
+
+    #[test]
+    fn cache_share_per_core() {
+        assert!(
+            within(
+                cache_mb_per_core(&MachineConfig::server_class_iso_power()),
+                4.125,
+                0.01
+            ),
+            "ServerClass cache/core"
+        );
+        assert!(
+            within(cache_mb_per_core(&MachineConfig::umanycore()), 0.15625, 0.01),
+            "uManycore cache/core"
+        );
+    }
+}

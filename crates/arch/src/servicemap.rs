@@ -1,0 +1,161 @@
+//! The top-level NIC's ServiceMap (paper §4.2, Figure 12).
+//!
+//! The package's top-level NIC maintains a table mapping each service id to
+//! the set of villages hosting an instance of that service; system software
+//! appends a row whenever it boots a new instance. Arriving requests are
+//! forwarded to one of the hosting villages in round-robin order, entirely
+//! in hardware.
+
+use std::collections::HashMap;
+
+/// Identifier of a village within a package.
+pub type VillageId = usize;
+
+/// The service-to-villages dispatch table with round-robin forwarding.
+///
+/// # Examples
+///
+/// ```
+/// use um_arch::ServiceMap;
+///
+/// let mut map = ServiceMap::new();
+/// map.register(7, 0);
+/// map.register(7, 3);
+/// assert_eq!(map.dispatch(7), Some(0));
+/// assert_eq!(map.dispatch(7), Some(3));
+/// assert_eq!(map.dispatch(7), Some(0)); // wraps around
+/// assert_eq!(map.dispatch(9), None);    // unknown service
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ServiceMap {
+    entries: HashMap<u32, Row>,
+}
+
+#[derive(Clone, Debug, Default)]
+struct Row {
+    villages: Vec<VillageId>,
+    cursor: usize,
+}
+
+impl ServiceMap {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `village` hosts an instance of `service`. Duplicate
+    /// registrations are ignored.
+    pub fn register(&mut self, service: u32, village: VillageId) {
+        let row = self.entries.entry(service).or_default();
+        if !row.villages.contains(&village) {
+            row.villages.push(village);
+        }
+    }
+
+    /// Removes a village from a service's row (instance torn down).
+    /// Returns whether the pair was present.
+    pub fn unregister(&mut self, service: u32, village: VillageId) -> bool {
+        let Some(row) = self.entries.get_mut(&service) else {
+            return false;
+        };
+        let Some(pos) = row.villages.iter().position(|&v| v == village) else {
+            return false;
+        };
+        row.villages.remove(pos);
+        if row.cursor >= row.villages.len() {
+            row.cursor = 0;
+        }
+        if row.villages.is_empty() {
+            self.entries.remove(&service);
+        }
+        true
+    }
+
+    /// Picks the next hosting village for `service`, round-robin; `None`
+    /// when no instance exists (the request is rejected upstream).
+    pub fn dispatch(&mut self, service: u32) -> Option<VillageId> {
+        let row = self.entries.get_mut(&service)?;
+        let village = *row.villages.get(row.cursor)?;
+        row.cursor = (row.cursor + 1) % row.villages.len();
+        Some(village)
+    }
+
+    /// Villages currently hosting `service`.
+    pub fn villages(&self, service: u32) -> &[VillageId] {
+        self.entries
+            .get(&service)
+            .map(|r| r.villages.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Number of registered services.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_cycles_evenly() {
+        let mut m = ServiceMap::new();
+        for v in [2, 5, 9] {
+            m.register(1, v);
+        }
+        let mut counts = HashMap::new();
+        for _ in 0..300 {
+            *counts.entry(m.dispatch(1).expect("registered")).or_insert(0) += 1;
+        }
+        assert_eq!(counts[&2], 100);
+        assert_eq!(counts[&5], 100);
+        assert_eq!(counts[&9], 100);
+    }
+
+    #[test]
+    fn duplicate_registration_ignored() {
+        let mut m = ServiceMap::new();
+        m.register(1, 4);
+        m.register(1, 4);
+        assert_eq!(m.villages(1), &[4]);
+    }
+
+    #[test]
+    fn unregister_removes_and_cleans() {
+        let mut m = ServiceMap::new();
+        m.register(1, 4);
+        m.register(1, 6);
+        assert!(m.unregister(1, 4));
+        assert_eq!(m.villages(1), &[6]);
+        assert!(m.unregister(1, 6));
+        assert!(m.is_empty());
+        assert!(!m.unregister(1, 6));
+        assert_eq!(m.dispatch(1), None);
+    }
+
+    #[test]
+    fn unregister_fixes_cursor() {
+        let mut m = ServiceMap::new();
+        m.register(1, 0);
+        m.register(1, 1);
+        m.dispatch(1); // cursor now 1
+        m.unregister(1, 1);
+        assert_eq!(m.dispatch(1), Some(0));
+    }
+
+    #[test]
+    fn services_are_independent() {
+        let mut m = ServiceMap::new();
+        m.register(1, 0);
+        m.register(2, 5);
+        assert_eq!(m.dispatch(1), Some(0));
+        assert_eq!(m.dispatch(2), Some(5));
+        assert_eq!(m.len(), 2);
+    }
+}

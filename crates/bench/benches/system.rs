@@ -1,0 +1,60 @@
+//! Criterion benchmarks of whole-system simulation throughput: one short
+//! run per machine, plus the experiment harness's per-cell cost. These
+//! bound the wall-clock cost of regenerating the paper's figures.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use um_arch::MachineConfig;
+use umanycore::{SimConfig, SystemSim, Workload};
+
+fn short_run(machine: MachineConfig, seed: u64) -> f64 {
+    let report = SystemSim::new(SimConfig {
+        machine,
+        workload: Workload::social_mix(),
+        rps_per_server: 10_000.0,
+        horizon_us: 10_000.0,
+        warmup_us: 1_000.0,
+        seed,
+        ..SimConfig::default()
+    })
+    .run();
+    report.latency.p99
+}
+
+fn bench_machines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("system_10ms_10krps");
+    group.sample_size(10);
+    for (name, machine) in [
+        ("umanycore", MachineConfig::umanycore()),
+        ("scaleout", MachineConfig::scaleout()),
+        ("server_class", MachineConfig::server_class_iso_power()),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &machine, |b, m| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(short_run(m.clone(), seed))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_construction(c: &mut Criterion) {
+    c.bench_function("system_construction_umanycore", |b| {
+        b.iter(|| {
+            let sim = SystemSim::new(SimConfig {
+                machine: MachineConfig::umanycore(),
+                workload: Workload::social_mix(),
+                rps_per_server: 10_000.0,
+                horizon_us: 10_000.0,
+                warmup_us: 1_000.0,
+                seed: 1,
+                ..SimConfig::default()
+            });
+            black_box(sim)
+        })
+    });
+}
+
+criterion_group!(benches, bench_machines, bench_construction);
+criterion_main!(benches);

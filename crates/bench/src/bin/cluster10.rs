@@ -1,0 +1,68 @@
+//! The abstract's headline experiment: a cluster of 10 servers, each with
+//! a 1024-core uManycore, against clusters of iso-power and iso-area
+//! conventional multicores.
+//!
+//! Paper anchors: 3.7x lower average latency, 10.4x lower tail latency,
+//! 15.5x higher throughput than the iso-power ServerClass cluster
+//! (averages over the loads).
+
+use um_bench::{banner, scale_from_env};
+use um_arch::MachineConfig;
+use um_stats::summary::geomean;
+use um_stats::table::{f1, Table};
+use umanycore::{SimConfig, SystemSim, Workload};
+
+fn main() {
+    let mut scale = scale_from_env();
+    scale.servers = 10;
+    banner(
+        "Cluster of 10 servers",
+        "End-to-end latency of 10-server clusters under the SocialNetwork mix.",
+    );
+    let mut t = Table::with_columns(&[
+        "machine", "load", "avg (us)", "p99 (us)", "cluster util",
+    ]);
+    let mut avg_ratio = Vec::new();
+    let mut tail_ratio = Vec::new();
+    for rps in [5_000.0, 10_000.0, 15_000.0] {
+        let mut tails = Vec::new();
+        let mut avgs = Vec::new();
+        for (name, machine) in [
+            ("ServerClass-40", MachineConfig::server_class_iso_power()),
+            ("ServerClass-128", MachineConfig::server_class_iso_area()),
+            ("ScaleOut", MachineConfig::scaleout()),
+            ("uManycore", MachineConfig::umanycore()),
+        ] {
+            let r = SystemSim::new(SimConfig {
+                machine,
+                workload: Workload::social_mix(),
+                rps_per_server: rps,
+                servers: scale.servers,
+                horizon_us: scale.horizon_us,
+                warmup_us: scale.warmup_us,
+                seed: scale.seed,
+                ..SimConfig::default()
+            })
+            .run();
+            t.row(vec![
+                name.to_string(),
+                format!("{:.0}K/srv", rps / 1000.0),
+                f1(r.latency.mean),
+                f1(r.latency.p99),
+                format!("{:.3}", r.utilization),
+            ]);
+            avgs.push(r.latency.mean);
+            tails.push(r.latency.p99);
+        }
+        avg_ratio.push(avgs[0] / avgs[3]);
+        tail_ratio.push(tails[0] / tails[3]);
+    }
+    print!("{}", t.render());
+    println!();
+    println!(
+        "uManycore cluster vs iso-power ServerClass cluster: {:.1}x lower average,\n\
+         {:.1}x lower tail (paper: 3.7x and 10.4x)",
+        geomean(&avg_ratio),
+        geomean(&tail_ratio)
+    );
+}

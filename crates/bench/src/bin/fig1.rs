@@ -1,0 +1,42 @@
+//! Figure 1: speedups of four published microarchitectural optimizations
+//! on monolithic vs microservice applications.
+//!
+//! Paper anchors: monoliths gain 19% / 14% / 16% / 2%; microservices gain
+//! 2% / 1% / ~0% / ~0%.
+
+use um_bench::{banner, scale_from_env};
+use um_stats::table::{f3, Table};
+use umanycore::experiments::motivation;
+
+fn main() {
+    let scale = scale_from_env();
+    banner(
+        "Figure 1",
+        "Speedup of D-Prefetcher / Branch Predictor / I-Prefetcher / I-Cache Replace,\n\
+         normalized to Baseline (= 1.0); calibrated stall breakdowns, with a\n\
+         trace-driven cross-check below.",
+    );
+    let rows = motivation::fig1_rows();
+    let mut t = Table::with_columns(&["optimization", "Mono baseline", "Mono optimized", "Micro baseline", "Micro optimized"]);
+    for r in &rows {
+        t.row(vec![
+            r.opt.name().to_string(),
+            "1.000".to_string(),
+            f3(r.mono_speedup),
+            "1.000".to_string(),
+            f3(r.micro_speedup),
+        ]);
+    }
+    print!("{}", t.render());
+    println!();
+    println!(
+        "paper: Mono 1.19 / 1.14 / 1.16 / 1.02 ; Micro 1.02 / 1.01 / 1.00 / 1.00"
+    );
+    println!();
+    println!("cross-check from trace-driven cache simulation (coarser, ordering only):");
+    let mut t2 = Table::with_columns(&["optimization", "Mono optimized", "Micro optimized"]);
+    for r in motivation::fig1_rows_measured(scale.seed) {
+        t2.row(vec![r.opt.name().to_string(), f3(r.mono_speedup), f3(r.micro_speedup)]);
+    }
+    print!("{}", t2.render());
+}

@@ -1,0 +1,48 @@
+//! Figure 14: end-to-end tail (P99) latency of ServerClass, ScaleOut and
+//! uManycore, normalized to ServerClass, at 5K/10K/15K RPS per app.
+//!
+//! Paper anchors: uManycore reduces the tail by 6.3x / 8.3x / 16.7x over
+//! ServerClass and 5.4x / 6.5x / 7.4x over ScaleOut at the three loads.
+
+use um_bench::{banner, scale_from_env};
+use um_stats::summary::geomean;
+use um_stats::table::{f1, f2, Table};
+use umanycore::experiments::evaluation::{app_grid, LOADS};
+
+fn main() {
+    let scale = scale_from_env();
+    banner(
+        "Figure 14",
+        "Tail latency normalized to ServerClass (absolute ServerClass values in ms\n\
+         shown as annotations, as in the paper).",
+    );
+    for &rps in &LOADS {
+        println!("-- load {:.0}K RPS --", rps / 1000.0);
+        let grid = app_grid(rps, scale);
+        let mut t = Table::with_columns(&[
+            "app", "ServerClass(ms)", "ServerClass", "ScaleOut", "uManycore",
+        ]);
+        let mut sc_over_um = Vec::new();
+        let mut so_over_um = Vec::new();
+        for row in &grid {
+            let (sc, so, um) = row.norm_tails();
+            t.row(vec![
+                row.app.to_string(),
+                f1(row.server_class.latency.p99 / 1000.0),
+                f2(sc),
+                f2(so),
+                f2(um),
+            ]);
+            sc_over_um.push(1.0 / um);
+            so_over_um.push(so / um);
+        }
+        print!("{}", t.render());
+        println!(
+            "uManycore tail reduction: {:.1}x vs ServerClass, {:.1}x vs ScaleOut",
+            geomean(&sc_over_um),
+            geomean(&so_over_um)
+        );
+        println!();
+    }
+    println!("paper: 6.3/8.3/16.7x vs ServerClass; 5.4/6.5/7.4x vs ScaleOut");
+}

@@ -1,0 +1,46 @@
+//! Figure 15: contribution of the four uManycore techniques to the tail
+//! latency reduction at 15K RPS, applied cumulatively to ScaleOut.
+//!
+//! Paper anchors: villages 1.1x, +leaf-spine 2.3x, +HW scheduling 3.9x,
+//! +HW context switching 7.4x (averages over the eight apps).
+
+use um_bench::{banner, scale_from_env};
+use um_stats::summary::geomean;
+use um_stats::table::{f2, Table};
+use um_workload::apps::SocialNetwork;
+use umanycore::experiments::evaluation::fig15_row;
+
+fn main() {
+    let scale = scale_from_env();
+    banner(
+        "Figure 15",
+        "Cumulative tail-latency reduction over ScaleOut at 15K RPS.",
+    );
+    let mut t = Table::with_columns(&[
+        "app", "+Villages", "+Leaf-spine", "+HW-Sched", "+HW-CtxSw",
+    ]);
+    let mut per_stage: Vec<Vec<f64>> = vec![Vec::new(); 4];
+    for &root in &SocialNetwork::ALL {
+        let row = fig15_row(root, 15_000.0, scale);
+        t.row(vec![
+            row.app.to_string(),
+            f2(row.reductions[0]),
+            f2(row.reductions[1]),
+            f2(row.reductions[2]),
+            f2(row.reductions[3]),
+        ]);
+        for (i, &r) in row.reductions.iter().enumerate() {
+            per_stage[i].push(r);
+        }
+    }
+    print!("{}", t.render());
+    println!();
+    println!(
+        "average cumulative reductions: {:.1}x / {:.1}x / {:.1}x / {:.1}x",
+        geomean(&per_stage[0]),
+        geomean(&per_stage[1]),
+        geomean(&per_stage[2]),
+        geomean(&per_stage[3])
+    );
+    println!("paper: 1.1x / 2.3x / 3.9x / 7.4x");
+}

@@ -1,0 +1,43 @@
+//! Figure 16: end-to-end average latency, normalized to ServerClass.
+//!
+//! Paper anchors: uManycore reduces the average by 2.3x / 3.2x / 5.6x over
+//! ServerClass and 2.1x / 2.5x / 3.2x over ScaleOut.
+
+use um_bench::{banner, scale_from_env};
+use um_stats::summary::geomean;
+use um_stats::table::{f1, f2, Table};
+use umanycore::experiments::evaluation::{app_grid, LOADS};
+
+fn main() {
+    let scale = scale_from_env();
+    banner("Figure 16", "Average latency normalized to ServerClass.");
+    for &rps in &LOADS {
+        println!("-- load {:.0}K RPS --", rps / 1000.0);
+        let grid = app_grid(rps, scale);
+        let mut t = Table::with_columns(&[
+            "app", "ServerClass(ms)", "ServerClass", "ScaleOut", "uManycore",
+        ]);
+        let mut sc_over_um = Vec::new();
+        let mut so_over_um = Vec::new();
+        for row in &grid {
+            let (sc, so, um) = row.norm_avgs();
+            t.row(vec![
+                row.app.to_string(),
+                f1(row.server_class.latency.mean / 1000.0),
+                f2(sc),
+                f2(so),
+                f2(um),
+            ]);
+            sc_over_um.push(1.0 / um);
+            so_over_um.push(so / um);
+        }
+        print!("{}", t.render());
+        println!(
+            "uManycore average reduction: {:.1}x vs ServerClass, {:.1}x vs ScaleOut",
+            geomean(&sc_over_um),
+            geomean(&so_over_um)
+        );
+        println!();
+    }
+    println!("paper: 2.3/3.2/5.6x vs ServerClass; 2.1/2.5/3.2x vs ScaleOut");
+}

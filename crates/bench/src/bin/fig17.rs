@@ -1,0 +1,59 @@
+//! Figure 17: tail-to-average latency ratio, normalized to ServerClass,
+//! averaged across the three loads.
+//!
+//! Paper anchors: uManycore's ratio is 2.7x lower than ServerClass's and
+//! 2.3x lower than ScaleOut's (absolute ServerClass ratios 3.1-7.7).
+
+use um_bench::{banner, scale_from_env};
+use um_stats::summary::{geomean, mean};
+use um_stats::table::{f1, f2, Table};
+use umanycore::experiments::evaluation::{app_grid, LOADS};
+
+fn main() {
+    let scale = scale_from_env();
+    banner(
+        "Figure 17",
+        "Tail-to-average latency ratio normalized to ServerClass, averaged over\n\
+         the three loads; absolute ServerClass ratios shown as annotations.",
+    );
+    // Accumulate per-app ratios across loads.
+    type AppRatios = (String, Vec<f64>, Vec<f64>, Vec<f64>);
+    let mut acc: Vec<AppRatios> = Vec::new();
+    for &rps in &LOADS {
+        for (i, row) in app_grid(rps, scale).into_iter().enumerate() {
+            if acc.len() <= i {
+                acc.push((row.app.to_string(), vec![], vec![], vec![]));
+            }
+            acc[i].1.push(row.server_class.tail_to_avg());
+            acc[i].2.push(row.scaleout.tail_to_avg());
+            acc[i].3.push(row.umanycore.tail_to_avg());
+        }
+    }
+    let mut t = Table::with_columns(&[
+        "app", "ServerClass(abs)", "ServerClass", "ScaleOut", "uManycore",
+    ]);
+    let mut um_norm = Vec::new();
+    let mut so_norm = Vec::new();
+    for (app, sc, so, um) in &acc {
+        let sc_m = mean(sc);
+        let so_m = mean(so);
+        let um_m = mean(um);
+        t.row(vec![
+            app.clone(),
+            f1(sc_m),
+            "1.00".to_string(),
+            f2(so_m / sc_m),
+            f2(um_m / sc_m),
+        ]);
+        um_norm.push(sc_m / um_m);
+        so_norm.push(so_m / um_m);
+    }
+    print!("{}", t.render());
+    println!();
+    println!(
+        "uManycore ratio is {:.1}x lower than ServerClass, {:.1}x lower than ScaleOut",
+        geomean(&um_norm),
+        geomean(&so_norm)
+    );
+    println!("paper: 2.7x and 2.3x; absolute ServerClass ratios 3.1-7.7");
+}

@@ -1,0 +1,49 @@
+//! Figure 18: maximum throughput without violating QoS (request latency
+//! must stay within 5x the contention-free average).
+//!
+//! Paper anchors: uManycore sustains 13.9-17.1x the ServerClass
+//! throughput (15.5x average) and 4.3x the ScaleOut throughput; absolute
+//! uManycore throughputs 150-254 KRPS.
+
+use um_bench::{banner, scale_from_env};
+use um_stats::summary::geomean;
+use um_stats::table::{f1, Table};
+use um_workload::apps::SocialNetwork;
+use umanycore::experiments::evaluation::fig18_row;
+
+fn main() {
+    let scale = scale_from_env();
+    banner(
+        "Figure 18",
+        "Max QoS-compliant throughput, normalized to ServerClass; absolute\n\
+         uManycore values in KRPS as annotations.",
+    );
+    let mut t = Table::with_columns(&[
+        "app", "uManycore(KRPS)", "ServerClass", "ScaleOut", "uManycore",
+    ]);
+    let mut vs_sc = Vec::new();
+    let mut vs_so = Vec::new();
+    for &root in &SocialNetwork::ALL {
+        let row = fig18_row(root, scale, 512_000.0);
+        let sc = row.server_class.max_rps;
+        let so = row.scaleout.max_rps;
+        let um = row.umanycore.max_rps;
+        t.row(vec![
+            row.app.to_string(),
+            f1(um / 1000.0),
+            "1.0".to_string(),
+            f1(so / sc),
+            f1(um / sc),
+        ]);
+        vs_sc.push(um / sc);
+        vs_so.push(um / so);
+    }
+    print!("{}", t.render());
+    println!();
+    println!(
+        "uManycore throughput: {:.1}x ServerClass, {:.1}x ScaleOut",
+        geomean(&vs_sc),
+        geomean(&vs_so)
+    );
+    println!("paper: 15.5x and 4.3x; absolute 150-254 KRPS");
+}

@@ -1,0 +1,39 @@
+//! Figure 19: tail latency of different uManycore topology configurations
+//! (cores per village x villages per cluster x clusters), normalized to
+//! the default 8x4x32.
+//!
+//! Paper anchors: all configurations within ~15% of each other; leaf-heavy
+//! services prefer larger villages, call-heavy services prefer many small
+//! villages; the default has the lowest overall tail.
+
+use um_bench::{banner, scale_from_env};
+use um_stats::table::{f2, Table};
+use um_arch::TopologyShape;
+use um_workload::apps::SocialNetwork;
+use umanycore::experiments::evaluation::fig19_row;
+
+fn main() {
+    let scale = scale_from_env();
+    banner(
+        "Figure 19",
+        "Normalized tail latency across uManycore shapes at 15K RPS.",
+    );
+    let labels: Vec<String> = TopologyShape::FIG19_SWEEP
+        .iter()
+        .map(|s| s.label())
+        .collect();
+    let mut cols: Vec<&str> = vec!["app"];
+    for l in &labels {
+        cols.push(l);
+    }
+    let mut t = Table::with_columns(&cols);
+    for &root in &SocialNetwork::ALL {
+        let row = fig19_row(root, 15_000.0, scale);
+        let mut cells = vec![row.app.to_string()];
+        cells.extend(row.norm_tails.iter().map(|&v| f2(v)));
+        t.row(cells);
+    }
+    print!("{}", t.render());
+    println!();
+    println!("paper: all shapes within ~15%; default 8x4x32 lowest overall");
+}

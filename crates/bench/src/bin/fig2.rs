@@ -1,0 +1,36 @@
+//! Figure 2: CDF of requests per second (RPS) received by a server, from
+//! the synthetic Alibaba-like trace model.
+//!
+//! Paper anchors: median ~500 RPS; >=1000 RPS 20% of the time; >=1500 RPS
+//! 5% of the time.
+
+use um_bench::{banner, scale_from_env};
+use um_stats::table::{f2, Table};
+use umanycore::experiments::motivation;
+
+fn main() {
+    let scale = scale_from_env();
+    banner("Figure 2", "CDF of per-server load (RPS).");
+    let cdf = motivation::fig2_cdf(scale.seed, 100_000);
+    let mut t = Table::with_columns(&["RPS", "CDF"]);
+    for (x, y) in curve_points(&cdf, 2_000.0, 9) {
+        t.row(vec![format!("{x:.0}"), f2(y)]);
+    }
+    print!("{}", t.render());
+    println!();
+    println!(
+        "median={:.0} p80={:.0} p95={:.0} (paper: ~500 / ~1000 / ~1500)",
+        cdf.inverse(0.5),
+        cdf.inverse(0.8),
+        cdf.inverse(0.95)
+    );
+}
+
+fn curve_points(cdf: &um_stats::Cdf, max_x: f64, points: usize) -> Vec<(f64, f64)> {
+    (0..=points)
+        .map(|i| {
+            let x = max_x * i as f64 / points as f64;
+            (x, cdf.eval(x))
+        })
+        .collect()
+}

@@ -1,0 +1,44 @@
+//! Figure 20: tail latency with synthetic exponential / lognormal /
+//! bimodal service-time distributions, normalized to ServerClass.
+//!
+//! Paper anchors: across loads and distributions uManycore reduces the
+//! tail 9.1x over ServerClass and 7.2x over ScaleOut, growing with load.
+
+use um_bench::{banner, scale_from_env};
+use um_stats::summary::geomean;
+use um_stats::table::{f1, f2, Table};
+use umanycore::experiments::evaluation::fig20_rows;
+
+fn main() {
+    let scale = scale_from_env();
+    banner(
+        "Figure 20",
+        "Synthetic-workload tail latency normalized to ServerClass; absolute\n\
+         ServerClass tails in us as annotations.",
+    );
+    let rows = fig20_rows(scale, &[5_000.0, 10_000.0, 15_000.0], 100.0);
+    let mut t = Table::with_columns(&[
+        "workload", "ServerClass(us)", "ServerClass", "ScaleOut", "uManycore",
+    ]);
+    let mut vs_sc = Vec::new();
+    let mut vs_so = Vec::new();
+    for r in &rows {
+        t.row(vec![
+            format!("{}{:.0}K", r.dist, r.rps / 1000.0),
+            f1(r.server_class_tail_us),
+            "1.00".to_string(),
+            f2(r.scaleout_norm),
+            f2(r.umanycore_norm),
+        ]);
+        vs_sc.push(1.0 / r.umanycore_norm);
+        vs_so.push(r.scaleout_norm / r.umanycore_norm);
+    }
+    print!("{}", t.render());
+    println!();
+    println!(
+        "uManycore tail reduction: {:.1}x vs ServerClass, {:.1}x vs ScaleOut",
+        geomean(&vs_sc),
+        geomean(&vs_so)
+    );
+    println!("paper: 9.1x and 7.2x on average");
+}

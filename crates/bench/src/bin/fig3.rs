@@ -1,0 +1,44 @@
+//! Figure 3: average and tail response time vs the number of queues in a
+//! 1024-core manycore, with and without work stealing, at 50K RPS.
+//!
+//! Paper anchors: tail is ~4.1x worse with 1024 queues and ~4.5x worse
+//! with 1 queue than with 32 queues; work stealing rescues the many-queue
+//! end but adds overhead at the few-queue end; averages move much less.
+
+use um_bench::{banner, scale_from_env};
+use um_stats::table::{f1, Table};
+use umanycore::experiments::motivation;
+
+fn main() {
+    let scale = scale_from_env();
+    banner(
+        "Figure 3",
+        "Response time vs queue count, 1024-core ScaleOut, Poisson 50K RPS.",
+    );
+    let rows = motivation::fig3_rows(scale, 50_000.0);
+    let mut t = Table::with_columns(&[
+        "queues", "avg (us)", "tail (us)", "avg+steal (us)", "tail+steal (us)",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.queues.to_string(),
+            f1(r.avg_us),
+            f1(r.tail_us),
+            f1(r.avg_steal_us),
+            f1(r.tail_steal_us),
+        ]);
+    }
+    print!("{}", t.render());
+    println!();
+    let best = rows
+        .iter()
+        .min_by(|a, b| a.tail_us.total_cmp(&b.tail_us))
+        .expect("rows");
+    println!(
+        "best tail at {} queues; 1024-queue tail = {:.1}x best, 1-queue tail = {:.1}x best",
+        best.queues,
+        rows[0].tail_us / best.tail_us,
+        rows.last().expect("rows").tail_us / best.tail_us
+    );
+    println!("paper: best at 32 queues; 4.1x at 1024 queues, 4.5x at 1 queue");
+}

@@ -1,0 +1,25 @@
+//! Figure 4: CDF of CPU utilization per request.
+//!
+//! Paper anchors: median ~14%; 99% of requests below 60%.
+
+use um_bench::{banner, scale_from_env};
+use um_stats::table::{f2, Table};
+use umanycore::experiments::motivation;
+
+fn main() {
+    let scale = scale_from_env();
+    banner("Figure 4", "CDF of CPU utilization per dynamic request.");
+    let cdf = motivation::fig4_cdf(scale.seed, 100_000);
+    let mut t = Table::with_columns(&["utilization", "CDF"]);
+    for i in 0..=8 {
+        let x = 0.7 * i as f64 / 8.0;
+        t.row(vec![f2(x), f2(cdf.eval(x))]);
+    }
+    print!("{}", t.render());
+    println!();
+    println!(
+        "median={:.3} p99={:.3} (paper: ~0.14 / <0.60)",
+        cdf.inverse(0.5),
+        cdf.inverse(0.99)
+    );
+}

@@ -1,0 +1,24 @@
+//! Figure 5: CDF of the number of RPC invocations per request.
+//!
+//! Paper anchors: median ~4.2; ~5% of requests invoke 16 or more RPCs.
+
+use um_bench::{banner, scale_from_env};
+use um_stats::table::{f2, Table};
+use umanycore::experiments::motivation;
+
+fn main() {
+    let scale = scale_from_env();
+    banner("Figure 5", "CDF of RPC invocations per dynamic request.");
+    let cdf = motivation::fig5_cdf(scale.seed, 100_000);
+    let mut t = Table::with_columns(&["callees per caller", "CDF"]);
+    for x in [0.0, 2.0, 4.0, 8.0, 12.0, 16.0, 24.0, 32.0, 40.0] {
+        t.row(vec![format!("{x:.0}"), f2(cdf.eval(x))]);
+    }
+    print!("{}", t.render());
+    println!();
+    println!(
+        "median={:.1}; fraction >=16 RPCs: {:.3} (paper: ~4.2 / ~0.05)",
+        cdf.inverse(0.5),
+        1.0 - cdf.eval(15.99)
+    );
+}

@@ -1,0 +1,42 @@
+//! Figure 6: impact of context-switch overhead on tail latency at 5K, 10K
+//! and 50K RPS on the 1024-core ScaleOut.
+//!
+//! Paper anchors: 128-256 cycles barely impact tail latency; the ~2K-cycle
+//! software schedulers degrade it 13-23x at 50K RPS; Linux's ~5K cycles
+//! degrade it 26-38x.
+
+use um_bench::{banner, scale_from_env};
+use um_stats::table::{f2, Table};
+use umanycore::experiments::motivation;
+
+fn main() {
+    let scale = scale_from_env();
+    banner(
+        "Figure 6",
+        "Tail latency vs context-switch overhead, normalized to CS=0 per load.",
+    );
+    let loads = [5_000.0, 10_000.0, 50_000.0];
+    let rows = motivation::fig6_rows(scale, &loads);
+    let mut t = Table::with_columns(&["CS cycles", "5K RPS", "10K RPS", "50K RPS"]);
+    for &cs in &motivation::FIG6_CS {
+        let cells: Vec<String> = loads
+            .iter()
+            .map(|&rps| {
+                rows.iter()
+                    .find(|r| r.cs_cycles == cs && r.rps == rps)
+                    .map(|r| f2(r.norm_tail))
+                    .expect("row exists")
+            })
+            .collect();
+        t.row(vec![
+            cs.to_string(),
+            cells[0].clone(),
+            cells[1].clone(),
+            cells[2].clone(),
+        ]);
+    }
+    print!("{}", t.render());
+    println!();
+    println!("markers: HW target 128-256 | Shenango 1024 | Shinjuku 1536 | ZygOS 2048 | Linux ~5000");
+    println!("paper: <=256 cycles ~ flat; 2K cycles 13-23x at 50K; 5-8K cycles 26-38x at 50K");
+}

@@ -1,0 +1,51 @@
+//! Section 6.8: comparison to an iso-area (128-core) ServerClass CPU.
+//!
+//! Paper anchors: the 128-core ServerClass matches or slightly beats
+//! ScaleOut's tail but remains on average 7.3x worse than uManycore, while
+//! burning 3.2x uManycore's power.
+
+use um_bench::{banner, scale_from_env};
+use um_stats::summary::geomean;
+use um_stats::table::{f1, Table};
+use umanycore::experiments::evaluation::{area_power_rows, iso_area_rows, LOADS};
+
+fn main() {
+    let scale = scale_from_env();
+    banner(
+        "Section 6.8",
+        "Iso-area comparison: 128-core ServerClass vs ScaleOut vs uManycore.",
+    );
+    let rows = iso_area_rows(scale, &LOADS);
+    let mut t = Table::with_columns(&[
+        "load", "ServerClass-128 tail (us)", "ScaleOut tail (us)", "uManycore tail (us)",
+    ]);
+    let mut ratios = Vec::new();
+    for r in &rows {
+        t.row(vec![
+            format!("{:.0}K", r.rps / 1000.0),
+            f1(r.server_class_128_tail_us),
+            f1(r.scaleout_tail_us),
+            f1(r.umanycore_tail_us),
+        ]);
+        ratios.push(r.server_class_128_tail_us / r.umanycore_tail_us);
+    }
+    print!("{}", t.render());
+    println!();
+    println!(
+        "ServerClass-128 tail is {:.1}x uManycore's (paper: 7.3x on average)",
+        geomean(&ratios)
+    );
+    println!();
+    let mut t2 = Table::with_columns(&["machine", "cores", "area mm2", "power W"]);
+    for r in area_power_rows() {
+        t2.row(vec![
+            r.name.to_string(),
+            r.cores.to_string(),
+            f1(r.area_mm2),
+            f1(r.power_w),
+        ]);
+    }
+    print!("{}", t2.render());
+    println!();
+    println!("paper: ServerClass-128 burns 3.2x uManycore's power at equal area");
+}

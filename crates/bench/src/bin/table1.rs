@@ -1,0 +1,37 @@
+//! Table 1: main sources of tail latency and the uManycore solutions.
+//!
+//! Qualitative table, rendered for completeness; every row maps to a
+//! mechanism implemented in this repository.
+
+use um_bench::banner;
+use um_stats::table::Table;
+
+fn main() {
+    banner("Table 1", "Main sources of tail latency (qualitative).");
+    let mut t = Table::with_columns(&["Source", "Reason", "uManycore solution", "module"]);
+    t.row(vec![
+        "Monolithic cache coherence".into(),
+        "remote directory/cache/network accesses and contention".into(),
+        "multiple small cache-coherent domains (villages)".into(),
+        "um-arch::coherence, umanycore::system".into(),
+    ]);
+    t.row(vec![
+        "Request scheduling".into(),
+        "synchronization and queuing of requests".into(),
+        "request enqueue/dequeue/scheduling in hardware".into(),
+        "um-sched::rq, umanycore::system".into(),
+    ]);
+    t.row(vec![
+        "Context switching".into(),
+        "OS invocation and saving & restoring state".into(),
+        "hardware-based context switching".into(),
+        "um-sched::ctxswitch".into(),
+    ]);
+    t.row(vec![
+        "On-package network".into(),
+        "network link/router latency and contention".into(),
+        "on-package hierarchical leaf-spine network".into(),
+        "um-net::leafspine".into(),
+    ]);
+    print!("{}", t.render());
+}

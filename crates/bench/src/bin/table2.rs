@@ -1,0 +1,37 @@
+//! Table 2: architectural parameters used in the evaluation, as encoded by
+//! `um-arch::MachineConfig`, plus the derived area/power figures.
+
+use um_bench::banner;
+use um_stats::table::{f1, Table};
+use um_arch::MachineConfig;
+
+fn main() {
+    banner("Table 2", "Architectural parameters of the evaluated machines.");
+    let mut t = Table::with_columns(&[
+        "machine", "cores", "issue", "ROB", "GHz", "ICN", "ctx switch", "sched",
+        "area mm2", "power W",
+    ]);
+    for m in [
+        MachineConfig::server_class_iso_power(),
+        MachineConfig::server_class_iso_area(),
+        MachineConfig::scaleout(),
+        MachineConfig::umanycore(),
+    ] {
+        t.row(vec![
+            format!("{} ({})", m.name, m.total_cores()),
+            m.total_cores().to_string(),
+            m.core.issue_width.to_string(),
+            m.core.rob_entries.to_string(),
+            format!("{:.1}", m.core.frequency.as_ghz()),
+            format!("{:?}", m.icn),
+            m.ctx_switch.to_string(),
+            if m.hw_scheduling { "hardware" } else { "software" }.to_string(),
+            f1(m.area_mm2()),
+            f1(m.power_watts()),
+        ]);
+    }
+    print!("{}", t.render());
+    println!();
+    println!("paper anchors: 10.225 / 0.396 / 0.408 W per core+caches;");
+    println!("547.2 mm2 uManycore vs 176.1 mm2 ServerClass-40 (3.1x); iso-area = 128 cores");
+}

@@ -1,0 +1,46 @@
+//! Shared plumbing for the figure/table regeneration binaries.
+//!
+//! Every binary regenerates one of the paper's tables or figures:
+//!
+//! ```text
+//! cargo run --release -p um-bench --bin fig14
+//! ```
+//!
+//! Binaries honour two environment variables:
+//!
+//! - `UM_SCALE`: `quick` (seconds per figure, noisier) or `full`
+//!   (default; the scale used for EXPERIMENTS.md).
+//! - `UM_SEED`: master seed (default 42).
+
+use umanycore::experiments::Scale;
+
+/// Reads the run scale from `UM_SCALE`/`UM_SEED`.
+pub fn scale_from_env() -> Scale {
+    let mut scale = match std::env::var("UM_SCALE").as_deref() {
+        Ok("quick") => Scale::quick(),
+        _ => Scale::default(),
+    };
+    if let Ok(seed) = std::env::var("UM_SEED") {
+        scale.seed = seed.parse().expect("UM_SEED must be an integer");
+    }
+    scale
+}
+
+/// Prints the standard figure header.
+pub fn banner(figure: &str, caption: &str) {
+    println!("== {figure} ==");
+    println!("{caption}");
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale_is_full() {
+        // The test environment does not set UM_SCALE.
+        let s = scale_from_env();
+        assert!(s.horizon_us >= Scale::quick().horizon_us);
+    }
+}

@@ -1,0 +1,379 @@
+//! Drivers for the evaluation figures (§6).
+
+use super::{run_machine, Scale};
+use crate::qos::{self, QosResult};
+use crate::report::RunReport;
+use crate::system::SimConfig;
+use crate::workload::Workload;
+use um_arch::config::{CoherenceDomain, IcnKind, MachineConfig, TopologyShape};
+use um_sched::CtxSwitchModel;
+use um_sim::Cycles;
+use um_workload::apps::SocialNetwork;
+use um_workload::synthetic::SyntheticWorkload;
+use um_workload::ServiceId;
+
+/// The paper's three load levels, RPS per server (§5).
+pub const LOADS: [f64; 3] = [5_000.0, 10_000.0, 15_000.0];
+
+/// Display names of the eight applications, Figure 14 order.
+pub fn app_names() -> Vec<&'static str> {
+    SocialNetwork::new().iter().map(|p| p.name).collect()
+}
+
+/// The three machines in figure order.
+pub fn machines() -> [(&'static str, MachineConfig); 3] {
+    [
+        ("ServerClass", MachineConfig::server_class_iso_power()),
+        ("ScaleOut", MachineConfig::scaleout()),
+        ("uManycore", MachineConfig::umanycore()),
+    ]
+}
+
+/// One application's results on the three machines at one load.
+#[derive(Clone, Debug)]
+pub struct AppRow {
+    /// Application name.
+    pub app: &'static str,
+    /// Load in RPS.
+    pub rps: f64,
+    /// ServerClass report.
+    pub server_class: RunReport,
+    /// ScaleOut report.
+    pub scaleout: RunReport,
+    /// uManycore report.
+    pub umanycore: RunReport,
+}
+
+impl AppRow {
+    /// Tail latencies normalized to ServerClass (Figure 14 bars).
+    pub fn norm_tails(&self) -> (f64, f64, f64) {
+        let base = self.server_class.latency.p99;
+        (
+            1.0,
+            self.scaleout.latency.p99 / base,
+            self.umanycore.latency.p99 / base,
+        )
+    }
+
+    /// Average latencies normalized to ServerClass (Figure 16 bars).
+    pub fn norm_avgs(&self) -> (f64, f64, f64) {
+        let base = self.server_class.latency.mean;
+        (
+            1.0,
+            self.scaleout.latency.mean / base,
+            self.umanycore.latency.mean / base,
+        )
+    }
+
+    /// Tail-to-average ratios normalized to ServerClass (Figure 17 bars).
+    pub fn norm_tail_to_avg(&self) -> (f64, f64, f64) {
+        let base = self.server_class.tail_to_avg();
+        (
+            1.0,
+            self.scaleout.tail_to_avg() / base,
+            self.umanycore.tail_to_avg() / base,
+        )
+    }
+}
+
+/// Runs one app at one load on all three machines (a Figure 14/16/17
+/// cell).
+pub fn app_row(root: ServiceId, rps: f64, scale: Scale) -> AppRow {
+    let apps = SocialNetwork::new();
+    let name = apps.profile(root).name;
+    let [(_, sc), (_, so), (_, um)] = machines();
+    AppRow {
+        app: name,
+        rps,
+        server_class: run_machine(sc, Workload::social_app(root), rps, scale),
+        scaleout: run_machine(so, Workload::social_app(root), rps, scale),
+        umanycore: run_machine(um, Workload::social_app(root), rps, scale),
+    }
+}
+
+/// Runs the full Figure 14/16/17 grid at one load.
+pub fn app_grid(rps: f64, scale: Scale) -> Vec<AppRow> {
+    SocialNetwork::ALL
+        .iter()
+        .map(|&root| app_row(root, rps, scale))
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Figure 15: ablation
+// ---------------------------------------------------------------------
+
+/// The cumulative ablation stages of Figure 15, applied to ScaleOut in
+/// the paper's order: villages, leaf-spine ICN, hardware scheduling,
+/// hardware context switching.
+pub fn ablation_stages() -> Vec<(&'static str, MachineConfig)> {
+    let mut stages = Vec::new();
+
+    let scaleout = MachineConfig::scaleout();
+    stages.push(("ScaleOut", scaleout.clone()));
+
+    // + Villages: 8-core coherence domains; queues and migration shrink
+    // from the 32-core cluster to the village.
+    let mut villages = scaleout;
+    villages.coherence = CoherenceDomain::Village;
+    villages.shape = TopologyShape::new(8, 4, 32);
+    villages.name = "+Villages";
+    stages.push(("+Villages", villages.clone()));
+
+    // + Leaf-spine ICN: the full on-package organization of Figure 12,
+    // including the per-cluster memory-pool chiplets attached to the hubs
+    // (Figures 10-11), which localize read-mostly traffic.
+    let mut leafspine = villages;
+    leafspine.icn = IcnKind::LeafSpine;
+    leafspine.memory_pool = true;
+    leafspine.name = "+Leaf-spine";
+    stages.push(("+Leaf-spine", leafspine.clone()));
+
+    // + Hardware scheduling: hardware RQs and NIC RPC processing (§4.3).
+    let mut hw_sched = leafspine;
+    hw_sched.hw_scheduling = true;
+    hw_sched.sched_op_cost = MachineConfig::umanycore().sched_op_cost;
+    hw_sched.rq_capacity = 64;
+    hw_sched.name = "+HW-Sched";
+    stages.push(("+HW-Sched", hw_sched.clone()));
+
+    // + Hardware context switching: the full uManycore.
+    let mut hw_cs = hw_sched;
+    hw_cs.ctx_switch = CtxSwitchModel::Hardware;
+    hw_cs.name = "+HW-CtxSw";
+    stages.push(("+HW-CtxSw", hw_cs));
+
+    stages
+}
+
+/// One Figure 15 column: per-stage tail-latency reduction over ScaleOut.
+#[derive(Clone, Debug)]
+pub struct Fig15Row {
+    /// Application name.
+    pub app: &'static str,
+    /// Reduction factor (ScaleOut tail / stage tail) per cumulative stage,
+    /// in `ablation_stages()[1..]` order.
+    pub reductions: Vec<f64>,
+}
+
+/// Runs the Figure 15 ablation for one app at `rps` (the paper uses
+/// 15 K RPS).
+pub fn fig15_row(root: ServiceId, rps: f64, scale: Scale) -> Fig15Row {
+    let apps = SocialNetwork::new();
+    let name = apps.profile(root).name;
+    let stages = ablation_stages();
+    let tails: Vec<f64> = stages
+        .iter()
+        .map(|(_, machine)| {
+            run_machine(machine.clone(), Workload::social_app(root), rps, scale)
+                .latency
+                .p99
+        })
+        .collect();
+    Fig15Row {
+        app: name,
+        reductions: tails[1..].iter().map(|t| tails[0] / t).collect(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figure 18: QoS throughput
+// ---------------------------------------------------------------------
+
+/// One Figure 18 bar group.
+#[derive(Clone, Debug)]
+pub struct Fig18Row {
+    /// Application name.
+    pub app: &'static str,
+    /// Max QoS-compliant throughput per machine, RPS.
+    pub server_class: QosResult,
+    /// ScaleOut result.
+    pub scaleout: QosResult,
+    /// uManycore result.
+    pub umanycore: QosResult,
+}
+
+/// Runs the QoS throughput search for one app.
+pub fn fig18_row(root: ServiceId, scale: Scale, hi_rps: f64) -> Fig18Row {
+    let apps = SocialNetwork::new();
+    let name = apps.profile(root).name;
+    let search = |machine: MachineConfig| {
+        let base = SimConfig {
+            machine,
+            workload: Workload::social_app(root),
+            servers: scale.servers,
+            horizon_us: scale.horizon_us,
+            warmup_us: scale.warmup_us,
+            seed: scale.seed,
+            ..SimConfig::default()
+        };
+        qos::max_qos_throughput(&base, hi_rps / 512.0, hi_rps)
+    };
+    let [(_, sc), (_, so), (_, um)] = machines();
+    Fig18Row {
+        app: name,
+        server_class: search(sc),
+        scaleout: search(so),
+        umanycore: search(um),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figure 19: topology sensitivity
+// ---------------------------------------------------------------------
+
+/// One Figure 19 bar group: per-shape tails for one app, normalized to
+/// the default 8x4x32 shape.
+#[derive(Clone, Debug)]
+pub struct Fig19Row {
+    /// Application name.
+    pub app: &'static str,
+    /// Normalized tails in `TopologyShape::FIG19_SWEEP` order.
+    pub norm_tails: Vec<f64>,
+}
+
+/// Runs the Figure 19 shape sweep for one app.
+pub fn fig19_row(root: ServiceId, rps: f64, scale: Scale) -> Fig19Row {
+    let apps = SocialNetwork::new();
+    let name = apps.profile(root).name;
+    let tails: Vec<f64> = TopologyShape::FIG19_SWEEP
+        .iter()
+        .map(|&shape| {
+            run_machine(
+                MachineConfig::umanycore_shaped(shape),
+                Workload::social_app(root),
+                rps,
+                scale,
+            )
+            .latency
+            .p99
+        })
+        .collect();
+    Fig19Row {
+        app: name,
+        norm_tails: tails.iter().map(|t| t / tails[0]).collect(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figure 20: synthetic service-time distributions
+// ---------------------------------------------------------------------
+
+/// One Figure 20 bar group.
+#[derive(Clone, Debug)]
+pub struct Fig20Row {
+    /// Distribution label (Exp/Lgn/Bim).
+    pub dist: &'static str,
+    /// Load in RPS.
+    pub rps: f64,
+    /// ServerClass tail, microseconds (the figure's absolute annotation).
+    pub server_class_tail_us: f64,
+    /// ScaleOut tail normalized to ServerClass.
+    pub scaleout_norm: f64,
+    /// uManycore tail normalized to ServerClass.
+    pub umanycore_norm: f64,
+}
+
+/// Runs the Figure 20 grid: three distributions x the given loads.
+pub fn fig20_rows(scale: Scale, loads: &[f64], mean_service_us: f64) -> Vec<Fig20Row> {
+    let mut rows = Vec::new();
+    for (label, synth) in SyntheticWorkload::paper_suite(mean_service_us) {
+        for &rps in loads {
+            let [(_, sc), (_, so), (_, um)] = machines();
+            let sc_r = run_machine(sc, Workload::Synthetic(synth), rps, scale);
+            let so_r = run_machine(so, Workload::Synthetic(synth), rps, scale);
+            let um_r = run_machine(um, Workload::Synthetic(synth), rps, scale);
+            rows.push(Fig20Row {
+                dist: label,
+                rps,
+                server_class_tail_us: sc_r.latency.p99,
+                scaleout_norm: so_r.latency.p99 / sc_r.latency.p99,
+                umanycore_norm: um_r.latency.p99 / sc_r.latency.p99,
+            });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
+// §6.8: iso-area comparison
+// ---------------------------------------------------------------------
+
+/// The iso-area comparison report.
+#[derive(Clone, Debug)]
+pub struct IsoAreaRow {
+    /// Load in RPS.
+    pub rps: f64,
+    /// 128-core ServerClass tail, microseconds.
+    pub server_class_128_tail_us: f64,
+    /// ScaleOut tail, microseconds.
+    pub scaleout_tail_us: f64,
+    /// uManycore tail, microseconds.
+    pub umanycore_tail_us: f64,
+}
+
+/// Runs the §6.8 iso-area comparison at the given loads.
+pub fn iso_area_rows(scale: Scale, loads: &[f64]) -> Vec<IsoAreaRow> {
+    loads
+        .iter()
+        .map(|&rps| {
+            let sc = run_machine(
+                MachineConfig::server_class_iso_area(),
+                Workload::social_mix(),
+                rps,
+                scale,
+            );
+            let so = run_machine(MachineConfig::scaleout(), Workload::social_mix(), rps, scale);
+            let um = run_machine(
+                MachineConfig::umanycore(),
+                Workload::social_mix(),
+                rps,
+                scale,
+            );
+            IsoAreaRow {
+                rps,
+                server_class_128_tail_us: sc.latency.p99,
+                scaleout_tail_us: so.latency.p99,
+                umanycore_tail_us: um.latency.p99,
+            }
+        })
+        .collect()
+}
+
+/// Area/power summary for the §6.8 table.
+#[derive(Clone, Copy, Debug)]
+pub struct AreaPowerRow {
+    /// Machine label.
+    pub name: &'static str,
+    /// Cores.
+    pub cores: usize,
+    /// Package area, mm².
+    pub area_mm2: f64,
+    /// Package power, watts.
+    pub power_w: f64,
+}
+
+/// Area and power of the four machine variants.
+pub fn area_power_rows() -> Vec<AreaPowerRow> {
+    [
+        ("ServerClass-40", MachineConfig::server_class_iso_power()),
+        ("ServerClass-128", MachineConfig::server_class_iso_area()),
+        ("ScaleOut", MachineConfig::scaleout()),
+        ("uManycore", MachineConfig::umanycore()),
+    ]
+    .into_iter()
+    .map(|(name, m)| AreaPowerRow {
+        name,
+        cores: m.total_cores(),
+        area_mm2: m.area_mm2(),
+        power_w: m.power_watts(),
+    })
+    .collect()
+}
+
+/// A convenience for reports: converts a tail in cycles at the machine's
+/// frequency to microseconds (unused by drivers, which already report in
+/// microseconds, but handy for external tooling).
+pub fn cycles_to_us(machine: &MachineConfig, cycles: Cycles) -> f64 {
+    cycles.as_micros(machine.core.frequency)
+}

@@ -1,0 +1,85 @@
+//! Results of a system run.
+
+use um_stats::{Samples, Summary};
+
+/// Aggregated results of one [`crate::SystemSim`] run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// End-to-end client latency digest, microseconds.
+    pub latency: Summary,
+    /// Raw end-to-end latency samples, microseconds.
+    pub latency_samples: Samples,
+    /// Village-queue waiting time digest (per dispatch), microseconds.
+    pub queueing: Summary,
+    /// CPU time per completed invocation, microseconds.
+    pub cpu_per_invocation: Summary,
+    /// Time blocked on RPCs per completed invocation, microseconds.
+    pub blocked_per_invocation: Summary,
+    /// Total queue-wait per completed invocation, microseconds.
+    pub queued_per_invocation: Summary,
+    /// Completed external requests.
+    pub completed: u64,
+    /// External requests recorded (completed after warm-up).
+    pub recorded: u64,
+    /// Mean core utilization across the run in `\[0, 1\]`.
+    pub utilization: f64,
+    /// Context switches performed.
+    pub ctx_switches: u64,
+    /// Work steals performed (software machines with stealing enabled).
+    pub steals: u64,
+    /// Requests that found a full hardware RQ and waited in the NIC.
+    pub rq_overflows: u64,
+    /// Service instances booted by the autoscaler (0 unless enabled).
+    pub instance_boots: u64,
+    /// Total ICN messages.
+    pub icn_messages: u64,
+    /// Mean ICN queueing delay per message, cycles.
+    pub icn_mean_queue_cycles: f64,
+}
+
+impl RunReport {
+    /// Tail latency (P99) in microseconds.
+    pub fn tail_us(&self) -> f64 {
+        self.latency.p99
+    }
+
+    /// Average latency in microseconds.
+    pub fn avg_us(&self) -> f64 {
+        self.latency.mean
+    }
+
+    /// Tail-to-average ratio (Figure 17).
+    pub fn tail_to_avg(&self) -> f64 {
+        self.latency.tail_to_avg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_mirror_summary() {
+        let samples: Samples = (1..=100).map(f64::from).collect();
+        let report = RunReport {
+            latency: samples.summary(),
+            latency_samples: samples,
+            queueing: Summary::default(),
+            cpu_per_invocation: Summary::default(),
+            blocked_per_invocation: Summary::default(),
+            queued_per_invocation: Summary::default(),
+            completed: 100,
+            recorded: 100,
+            utilization: 0.5,
+            ctx_switches: 0,
+            steals: 0,
+            rq_overflows: 0,
+            instance_boots: 0,
+            icn_messages: 0,
+            icn_mean_queue_cycles: 0.0,
+        };
+        assert_eq!(report.tail_us(), 99.0);
+        assert_eq!(report.avg_us(), 50.5);
+        assert!(report.tail_to_avg() > 1.0);
+    }
+}

@@ -1,0 +1,150 @@
+//! In-flight request state.
+
+use um_sim::Cycles;
+use um_workload::{RequestPlan, ServiceId};
+
+/// Index of a request in the simulation's request table.
+pub type ReqId = usize;
+
+/// Who receives a request's final response.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Origin {
+    /// An external client (latency is recorded when the response leaves).
+    Client {
+        /// Time the client sent the request.
+        sent_at: Cycles,
+    },
+    /// A parent request blocked on this call.
+    Parent {
+        /// The blocked parent request.
+        req: ReqId,
+    },
+}
+
+/// Lifecycle phase of a request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Travelling to or waiting in its village's queue.
+    Queued,
+    /// Executing a segment on a core.
+    Running,
+    /// Blocked on an outstanding RPC.
+    Blocked,
+    /// Finished (response sent).
+    Done,
+}
+
+/// One request's mutable simulation state.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// The sampled execution plan.
+    pub plan: RequestPlan,
+    /// Which segment executes next (index into `plan.segments`).
+    pub next_segment: usize,
+    /// Current phase.
+    pub phase: Phase,
+    /// Where the final response goes.
+    pub origin: Origin,
+    /// Server the request executes on.
+    pub server: usize,
+    /// Village (queue) the request belongs to.
+    pub village: usize,
+    /// Whether the request has run on a core before (controls the
+    /// migration-coherence charge and the context-restore cost).
+    pub has_run: bool,
+    /// Number of context switches this request has suffered.
+    pub ctx_switches: u32,
+    /// Cycles of CPU the request has consumed (for utilization stats).
+    pub cpu_cycles: Cycles,
+    /// Arrival time at the village queue (for queueing-delay stats).
+    pub enqueued_at: Cycles,
+    /// When the request last blocked on an RPC.
+    pub blocked_at: Cycles,
+    /// Total cycles spent blocked on RPCs so far.
+    pub blocked_cycles: Cycles,
+    /// Total cycles spent waiting in queues so far.
+    pub queued_cycles: Cycles,
+    /// Slot in the village's hardware Request Queue, when the machine
+    /// schedules in hardware and the request is admitted.
+    pub rq_slot: Option<um_sched::RqSlot>,
+}
+
+impl Request {
+    /// Creates a freshly planned request bound to a village.
+    pub fn new(plan: RequestPlan, origin: Origin, server: usize, village: usize) -> Self {
+        assert!(
+            !plan.segments.is_empty(),
+            "a request plan needs at least one segment"
+        );
+        Self {
+            plan,
+            next_segment: 0,
+            phase: Phase::Queued,
+            origin,
+            server,
+            village,
+            has_run: false,
+            ctx_switches: 0,
+            cpu_cycles: Cycles::ZERO,
+            enqueued_at: Cycles::ZERO,
+            blocked_at: Cycles::ZERO,
+            blocked_cycles: Cycles::ZERO,
+            queued_cycles: Cycles::ZERO,
+            rq_slot: None,
+        }
+    }
+
+    /// The service this request invokes.
+    pub fn service(&self) -> ServiceId {
+        self.plan.service
+    }
+
+    /// Whether the segment about to run is the last one.
+    pub fn on_last_segment(&self) -> bool {
+        self.next_segment + 1 == self.plan.segments.len()
+    }
+
+    /// Whether all segments have run.
+    pub fn is_complete(&self) -> bool {
+        self.next_segment >= self.plan.segments.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use um_workload::{RpcKind, Segment};
+
+    fn plan(n_segments: usize) -> RequestPlan {
+        RequestPlan {
+            service: ServiceId::new(1),
+            segments: (0..n_segments)
+                .map(|i| Segment {
+                    compute_us: 10.0,
+                    rpc: (i + 1 < n_segments).then_some(RpcKind::Storage { bytes: 64 }),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn lifecycle_flags() {
+        let mut r = Request::new(plan(2), Origin::Client { sent_at: Cycles::ZERO }, 0, 3);
+        assert_eq!(r.phase, Phase::Queued);
+        assert!(!r.on_last_segment() || r.plan.segments.len() == 1);
+        r.next_segment = 1;
+        assert!(r.on_last_segment());
+        r.next_segment = 2;
+        assert!(r.is_complete());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one segment")]
+    fn empty_plan_rejected() {
+        let empty = RequestPlan {
+            service: ServiceId::new(0),
+            segments: vec![],
+        };
+        Request::new(empty, Origin::Client { sent_at: Cycles::ZERO }, 0, 0);
+    }
+}

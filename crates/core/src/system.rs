@@ -1,0 +1,1454 @@
+//! The full-system discrete-event simulator.
+//!
+//! One [`SystemSim`] models a cluster of servers, each carrying one package
+//! of the configured machine (ServerClass / ScaleOut / uManycore). External
+//! client requests arrive per server as a Poisson process; each request
+//! executes its sampled plan — compute segments separated by blocking
+//! storage RPCs and synchronous service calls — on the village/queue fabric
+//! of the machine, paying that machine's scheduling, context-switch,
+//! RPC-processing, coherence and interconnect costs.
+
+use crate::params;
+use crate::report::RunReport;
+use crate::request::{Origin, Phase, ReqId, Request};
+use crate::workload::Workload;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::collections::VecDeque;
+use um_arch::coherence::CoherenceModel;
+use um_arch::config::{CoherenceDomain, IcnKind, MachineConfig};
+use um_arch::ServiceMap;
+use um_net::{
+    ExternalNetwork, FatTree, LeafSpine, Mesh2D, Network, NetworkConfig,
+};
+use um_sched::{Dispatcher, RequestQueue};
+use um_sim::{rng as simrng, Cycles, EventQueue};
+use um_stats::Samples;
+use um_workload::{PoissonArrivals, RpcKind, ServiceId};
+
+/// Configuration of one system run.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// The machine in every server.
+    pub machine: MachineConfig,
+    /// Request workload.
+    pub workload: Workload,
+    /// External request rate per server, requests per second.
+    pub rps_per_server: f64,
+    /// Number of servers in the cluster.
+    pub servers: usize,
+    /// Arrival horizon in microseconds; requests arriving before it are
+    /// all simulated to completion.
+    pub horizon_us: f64,
+    /// Requests arriving before this time are executed but not recorded
+    /// (cache/queue warm-up).
+    pub warmup_us: f64,
+    /// Master random seed; same seed, same results.
+    pub seed: u64,
+    /// Overrides the number of queues (villages) per server — the Figure 3
+    /// sweep. Cores are redistributed evenly.
+    pub queues_override: Option<usize>,
+    /// Allow idle cores to steal from other queues (software scheduling
+    /// only; Figure 3).
+    pub work_stealing: bool,
+    /// Model ICN link contention (disable for Figure 7's normalization
+    /// baseline).
+    pub icn_contention: bool,
+    /// Run-to-completion mode: a core is held while its request blocks on
+    /// an RPC and the request resumes in place (no context switches).
+    /// This is §3.2's queueing experiment setup (Figure 3), where the
+    /// queue structure is isolated from context-switch effects.
+    pub hold_core_while_blocked: bool,
+    /// Dequeue ordering. The hardware RQ serves FCFS (§4.3); SRPT is the
+    /// alternative the paper argues brings little for microservices — the
+    /// `ablation_srpt` bench checks that claim.
+    pub dequeue_policy: um_sched::DequeuePolicy,
+    /// External arrival process: Poisson (the paper's evaluation) or the
+    /// bursty MMPP the Alibaba characterization motivates (§3.2).
+    pub arrivals: ArrivalProcess,
+    /// Instance autoscaling: when a service's village queue runs hot, the
+    /// system software boots another instance in a different village,
+    /// reading its snapshot from the cluster memory pool when present
+    /// (§3.5/§4.1) and cold-booting otherwise.
+    pub autoscale: bool,
+}
+
+/// How external requests arrive at each server.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArrivalProcess {
+    /// Exponential inter-arrival times at the configured rate (§5).
+    Poisson,
+    /// Two-state Markov-modulated bursts with the configured long-run
+    /// rate (the Figure 2 burstiness).
+    Bursty,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            machine: MachineConfig::umanycore(),
+            workload: Workload::social_mix(),
+            rps_per_server: 5_000.0,
+            servers: 1,
+            horizon_us: 50_000.0,
+            warmup_us: 5_000.0,
+            seed: 42,
+            queues_override: None,
+            work_stealing: false,
+            icn_contention: true,
+            hold_core_while_blocked: false,
+            dequeue_policy: um_sched::DequeuePolicy::Fcfs,
+            arrivals: ArrivalProcess::Poisson,
+            autoscale: false,
+        }
+    }
+}
+
+/// Any of the three on-package networks, unified behind one send surface.
+#[derive(Clone, Debug)]
+enum Icn {
+    Mesh(Network<Mesh2D>),
+    Fat(Network<FatTree>),
+    Leaf(Network<LeafSpine>),
+}
+
+impl Icn {
+    fn send(&mut self, src: usize, dst: usize, bytes: u64, depart: Cycles) -> Cycles {
+        match self {
+            Icn::Mesh(n) => n.send(src, dst, bytes, depart),
+            Icn::Fat(n) => n.send(src, dst, bytes, depart),
+            Icn::Leaf(n) => n.send(src, dst, bytes, depart),
+        }
+    }
+
+    /// Returns `(arrival, queueing_delay)` for a transfer.
+    fn send_traced(
+        &mut self,
+        src: usize,
+        dst: usize,
+        bytes: u64,
+        depart: Cycles,
+    ) -> (Cycles, Cycles) {
+        match self {
+            Icn::Mesh(n) => n.send_traced(src, dst, bytes, depart),
+            Icn::Fat(n) => n.send_traced(src, dst, bytes, depart),
+            Icn::Leaf(n) => n.send_traced(src, dst, bytes, depart),
+        }
+    }
+
+    fn stats(&self) -> um_net::NetworkStats {
+        match self {
+            Icn::Mesh(n) => n.stats(),
+            Icn::Fat(n) => n.stats(),
+            Icn::Leaf(n) => n.stats(),
+        }
+    }
+
+    fn hop_latency(&self) -> Cycles {
+        match self {
+            Icn::Mesh(n) => n.config().hop_latency,
+            Icn::Fat(n) => n.config().hop_latency,
+            Icn::Leaf(n) => n.config().hop_latency,
+        }
+    }
+}
+
+/// Per-village queue state.
+#[derive(Clone, Debug)]
+enum VillageQueue {
+    /// uManycore: hardware RQ plus the NIC overflow buffer (§4.3).
+    Hardware {
+        rq: RequestQueue<ReqId>,
+        nic_buffer: VecDeque<ReqId>,
+    },
+    /// Baselines: a software FCFS ready queue.
+    Software { ready: VecDeque<ReqId> },
+}
+
+#[derive(Clone, Debug)]
+struct Village {
+    /// The core microarchitecture this village's cores implement (§8's
+    /// heterogeneous-villages extension; homogeneous machines use the
+    /// package core everywhere).
+    core: um_arch::CoreModel,
+    /// First cluster this village's cores live in.
+    cluster: usize,
+    /// Number of consecutive clusters the village spans (a logical queue
+    /// larger than one cluster — the Figure 3 override — has cores in
+    /// several physical clusters).
+    cluster_span: usize,
+    idle_cores: usize,
+    cores: usize,
+    queue: VillageQueue,
+    /// Software queues are protected by a lock whose critical section
+    /// scales with the sharer count (§3.2's synchronization overheads);
+    /// hardware RQs arbitrate in the Dequeue instruction (zero here).
+    lock_cycles: Cycles,
+    lock_free_at: Cycles,
+}
+
+impl Village {
+    /// Serializes one queue operation starting at `now`; returns when the
+    /// operation completes.
+    fn queue_op(&mut self, now: Cycles) -> Cycles {
+        if self.lock_cycles == Cycles::ZERO {
+            return now;
+        }
+        let start = now.max(self.lock_free_at);
+        self.lock_free_at = start + self.lock_cycles;
+        self.lock_free_at
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Server {
+    villages: Vec<Village>,
+    icn: Icn,
+    dispatcher: Option<Dispatcher>,
+    service_map: ServiceMap,
+    busy_cycles: u128,
+    /// One snapshot memory pool per cluster (§4.1); pre-populated with
+    /// every service's snapshot when the machine carries pools.
+    pools: Vec<um_mem::pool::MemoryPool>,
+    /// Services with an instance boot in flight (stampede guard).
+    booting: std::collections::HashSet<u32>,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Event {
+    ClientArrival { server: usize },
+    Enqueue { req: ReqId },
+    SegmentDone { req: ReqId },
+    Unblock { req: ReqId },
+    CoreFree { server: usize, village: usize },
+    /// A freshly booted service instance comes online in a village.
+    InstanceReady { server: usize, service: u32, village: usize },
+}
+
+/// The full-system simulator. Construct with [`SystemSim::new`], run with
+/// [`SystemSim::run`].
+pub struct SystemSim {
+    cfg: SimConfig,
+    events: EventQueue<Event>,
+    requests: Vec<Request>,
+    servers: Vec<Server>,
+    external: ExternalNetwork,
+    coherence: CoherenceModel,
+    rng: SmallRng,
+    horizon: Cycles,
+    warmup: Cycles,
+    // Statistics.
+    latency: Samples,
+    queueing: Samples,
+    cpu_per_invocation: Samples,
+    blocked_per_invocation: Samples,
+    queued_per_invocation: Samples,
+    completed: u64,
+    recorded: u64,
+    ctx_switches: u64,
+    steals: u64,
+    rq_overflows: u64,
+    instance_boots: u64,
+}
+
+impl SystemSim {
+    /// Builds the cluster and pre-schedules all external arrivals.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate configurations (zero servers, zero rate,
+    /// queue override that does not divide the core count).
+    pub fn new(cfg: SimConfig) -> Self {
+        assert!(cfg.servers > 0, "need at least one server");
+        assert!(cfg.horizon_us > 0.0, "need a positive horizon");
+        assert!(
+            cfg.warmup_us < cfg.horizon_us,
+            "warm-up must end before the horizon"
+        );
+        let freq = cfg.machine.core.frequency;
+        let total_cores = cfg.machine.total_cores();
+
+        // Queue layout: villages per server, either from the machine shape
+        // or from the Figure 3 override.
+        let n_villages = match cfg.queues_override {
+            Some(q) => {
+                assert!(
+                    q >= 1 && total_cores.is_multiple_of(q),
+                    "queue override {q} must divide {total_cores} cores"
+                );
+                q
+            }
+            None => cfg.machine.shape.total_villages(),
+        };
+        let cores_per_village = total_cores / n_villages;
+        let clusters = cfg.machine.shape.clusters;
+
+        let net_config = if cfg.icn_contention {
+            NetworkConfig {
+                seed: cfg.seed,
+                ..NetworkConfig::on_package()
+            }
+        } else {
+            NetworkConfig {
+                seed: cfg.seed,
+                ..NetworkConfig::contention_free()
+            }
+        };
+
+        let services = cfg.workload.services();
+        let mut servers = Vec::with_capacity(cfg.servers);
+        for _ in 0..cfg.servers {
+            let icn = match cfg.machine.icn {
+                IcnKind::Mesh => Icn::Mesh(Network::new(Mesh2D::near_square(clusters), net_config)),
+                IcnKind::FatTree => Icn::Fat(Network::new(FatTree::new(clusters), net_config)),
+                IcnKind::LeafSpine => {
+                    // Keep 4-way pods when possible, as in Figure 12.
+                    let pods = if clusters.is_multiple_of(8) { clusters / 8 } else { 1 };
+                    let leaves = clusters / pods;
+                    Icn::Leaf(Network::new(LeafSpine::new(pods, leaves, 4, 8), net_config))
+                }
+            };
+            let lock_cycles = if cfg.machine.hw_scheduling {
+                Cycles::ZERO
+            } else {
+                // Cache-line ping-pong makes the critical section grow
+                // linearly with the sharer count: the §3.2 argument
+                // against one fully-centralized queue.
+                Cycles::new(
+                    (crate::params::SW_QUEUE_LOCK_CYCLES_PER_SHARER
+                        * cores_per_village as f64) as u64,
+                )
+            };
+            let cluster_span = (clusters / n_villages).max(1);
+            let villages: Vec<Village> = (0..n_villages)
+                .map(|v| Village {
+                    core: match cfg.machine.village_cores {
+                        um_arch::config::VillageCores::Heterogeneous {
+                            big_villages,
+                            big_core,
+                        } if v < big_villages => big_core,
+                        _ => cfg.machine.core,
+                    },
+                    cluster: v * clusters / n_villages,
+                    cluster_span,
+                    idle_cores: cores_per_village,
+                    cores: cores_per_village,
+                    queue: if cfg.machine.hw_scheduling {
+                        VillageQueue::Hardware {
+                            rq: RequestQueue::new(cfg.machine.rq_capacity),
+                            nic_buffer: VecDeque::new(),
+                        }
+                    } else {
+                        VillageQueue::Software {
+                            ready: VecDeque::new(),
+                        }
+                    },
+                    lock_cycles,
+                    lock_free_at: Cycles::ZERO,
+                })
+                .collect();
+            // ServiceMap: uManycore partitions services across villages;
+            // baselines deploy every service everywhere and pick queues
+            // uniformly at random (§3.2's experiment setup). With
+            // heterogeneous villages (§8), the big-core villages are
+            // reserved for the heaviest-handler services.
+            let mut service_map = ServiceMap::new();
+            if cfg.machine.hw_scheduling && n_villages >= services.len() {
+                let mut order = services.clone();
+                order.sort_by(|a, b| {
+                    cfg.workload
+                        .service_weight(*b)
+                        .total_cmp(&cfg.workload.service_weight(*a))
+                });
+                let big = match cfg.machine.village_cores {
+                    um_arch::config::VillageCores::Heterogeneous {
+                        big_villages, ..
+                    } => big_villages.min(n_villages.saturating_sub(services.len())),
+                    um_arch::config::VillageCores::Homogeneous => 0,
+                };
+                let heavy_count = (services.len() / 3).max(1);
+                for v in 0..n_villages {
+                    let svc = if v < big {
+                        order[v % heavy_count]
+                    } else {
+                        order[(v - big) % services.len()]
+                    };
+                    service_map.register(svc.raw(), v);
+                }
+            } else {
+                for svc in &services {
+                    for v in 0..n_villages {
+                        service_map.register(svc.raw(), v);
+                    }
+                }
+            }
+            // Snapshot pools: ~14 MB per service (paper: <16 MB), one
+            // 256 MB pool per cluster, pre-populated when the machine has
+            // pools; a 1-byte pool otherwise makes every boot cold.
+            let pools = (0..clusters)
+                .map(|_| {
+                    if cfg.machine.memory_pool {
+                        let mut pool =
+                            um_mem::pool::MemoryPool::new(256 * 1024 * 1024);
+                        for svc in &services {
+                            pool.store(svc.raw(), 14 * 1024 * 1024)
+                                .expect("pool sized for all services");
+                        }
+                        pool
+                    } else {
+                        um_mem::pool::MemoryPool::new(1)
+                    }
+                })
+                .collect();
+            servers.push(Server {
+                villages,
+                icn,
+                dispatcher: Dispatcher::for_model(cfg.machine.ctx_switch, total_cores),
+                service_map,
+                busy_cycles: 0,
+                pools,
+                booting: std::collections::HashSet::new(),
+            });
+        }
+
+        let coherence = match cfg.machine.coherence {
+            CoherenceDomain::Village => CoherenceModel::village(),
+            CoherenceDomain::Global if total_cores > 256 => CoherenceModel::global_1024(),
+            CoherenceDomain::Global => CoherenceModel::global_small(total_cores),
+        };
+
+        let mut events = EventQueue::new();
+        for s in 0..cfg.servers {
+            let seed = simrng::stream_indexed(cfg.seed, "server-arrivals", s as u64)
+                .gen::<u64>();
+            let arrivals = match cfg.arrivals {
+                ArrivalProcess::Poisson => {
+                    PoissonArrivals::new(cfg.rps_per_server, seed).within(cfg.horizon_us)
+                }
+                ArrivalProcess::Bursty => {
+                    let mut mmpp = um_workload::Mmpp::alibaba_like(cfg.rps_per_server, seed);
+                    mmpp.within(cfg.horizon_us)
+                }
+            };
+            for t in arrivals {
+                events.schedule_at(
+                    Cycles::from_micros(t, freq),
+                    Event::ClientArrival { server: s },
+                );
+            }
+        }
+
+        // The external fabric connects the cluster's servers plus the
+        // storage tier (index = cfg.servers).
+        let external = ExternalNetwork::paper_default(cfg.servers + 1, freq);
+
+        Self {
+            horizon: Cycles::from_micros(cfg.horizon_us, freq),
+            warmup: Cycles::from_micros(cfg.warmup_us, freq),
+            external,
+            coherence,
+            rng: simrng::stream(cfg.seed, "system"),
+            events,
+            requests: Vec::new(),
+            servers,
+            latency: Samples::new(),
+            queueing: Samples::new(),
+            cpu_per_invocation: Samples::new(),
+            blocked_per_invocation: Samples::new(),
+            queued_per_invocation: Samples::new(),
+            completed: 0,
+            recorded: 0,
+            ctx_switches: 0,
+            steals: 0,
+            rq_overflows: 0,
+            instance_boots: 0,
+            cfg,
+        }
+    }
+
+    /// Runs the simulation to completion (all admitted requests finish)
+    /// and returns the report.
+    pub fn run(mut self) -> RunReport {
+        while let Some((now, event)) = self.events.pop() {
+            match event {
+                Event::ClientArrival { server } => self.on_client_arrival(server, now),
+                Event::Enqueue { req } => self.on_enqueue(req, now),
+                Event::SegmentDone { req } => self.on_segment_done(req, now),
+                Event::Unblock { req } => self.on_unblock(req, now),
+                Event::CoreFree { server, village } => {
+                    self.servers[server].villages[village].idle_cores += 1;
+                    self.try_start(server, village, now);
+                }
+                Event::InstanceReady {
+                    server,
+                    service,
+                    village,
+                } => {
+                    self.servers[server].booting.remove(&service);
+                    self.servers[server].service_map.register(service, village);
+                }
+            }
+        }
+        self.into_report()
+    }
+
+    // ---- unit helpers -------------------------------------------------
+
+    fn freq(&self) -> um_sim::Frequency {
+        self.cfg.machine.core.frequency
+    }
+
+    /// Wall-clock microseconds (network, storage) to cycles.
+    fn wall_cycles(&self, us: f64) -> Cycles {
+        Cycles::from_micros(us, self.freq())
+    }
+
+    fn rpc_proc_us(&self) -> f64 {
+        if self.cfg.machine.hw_scheduling {
+            params::HW_RPC_PROC_US
+        } else {
+            params::SW_RPC_PROC_US
+        }
+    }
+
+    fn rpc_msg_us(&self) -> f64 {
+        if self.cfg.machine.hw_scheduling {
+            params::HW_RPC_MSG_US
+        } else {
+            params::SW_RPC_MSG_US
+        }
+    }
+
+    fn cs_half(&self) -> Cycles {
+        Cycles::new(self.cfg.machine.ctx_switch.cost().raw() / 2)
+    }
+
+    /// The physical cluster a request's core sits in: villages narrower
+    /// than a cluster have one; logical queues spanning several clusters
+    /// (queue overrides) place cores across the span.
+    fn core_cluster(&mut self, server: usize, village: usize) -> usize {
+        let v = &self.servers[server].villages[village];
+        if v.cluster_span <= 1 {
+            v.cluster
+        } else {
+            v.cluster + self.rng.gen_range(0..v.cluster_span)
+        }
+    }
+
+    /// Whether the machine's read-mostly state sits in a per-cluster
+    /// memory pool next to its villages (§4.1) — the combination that
+    /// localizes memory traffic.
+    fn has_local_pool(&self) -> bool {
+        self.cfg.machine.coherence == CoherenceDomain::Village
+            && self.cfg.machine.memory_pool
+    }
+
+    fn mem_bytes_per_us(&self) -> f64 {
+        if self.has_local_pool() {
+            // Snapshot/state reads served by the cluster pool; only the
+            // residual (DRAM writes, cold misses) moves — and locally.
+            params::MEM_BYTES_PER_US_VILLAGE
+        } else if self.cfg.machine.kind == um_arch::config::MachineKind::ServerClass {
+            // ServerClass's 4 MB of cache per core absorbs much of the
+            // refetch traffic the small-cache manycores must replay.
+            params::MEM_BYTES_PER_US_GLOBAL / 2.0
+        } else {
+            params::MEM_BYTES_PER_US_GLOBAL
+        }
+    }
+
+    // ---- event handlers ------------------------------------------------
+
+    fn on_client_arrival(&mut self, server: usize, now: Cycles) {
+        let service = self.cfg.workload.sample_root(&mut self.rng);
+        let village = self.pick_village(server, service);
+        let plan = self.cfg.workload.sample_plan(service, &mut self.rng);
+        let req = self.requests.len();
+        self.requests.push(Request::new(
+            plan,
+            Origin::Client { sent_at: now },
+            server,
+            village,
+        ));
+        // Top-level NIC ingress + one hop to the village's leaf, plus the
+        // enqueue operation itself.
+        let ingress = self.wall_cycles(params::NIC_INGRESS_US)
+            + self.servers[server].icn.hop_latency()
+            + self.cfg.machine.sched_op_cost;
+        self.events.schedule_at(now + ingress, Event::Enqueue { req });
+    }
+
+    fn pick_village(&mut self, server: usize, service: ServiceId) -> usize {
+        if self.cfg.machine.hw_scheduling {
+            self.servers[server]
+                .service_map
+                .dispatch(service.raw())
+                .expect("every workload service is registered")
+        } else {
+            self.rng.gen_range(0..self.servers[server].villages.len())
+        }
+    }
+
+    fn on_enqueue(&mut self, req: ReqId, now: Cycles) {
+        // Software queues serialize the insert through their lock; batched
+        // NIC-to-queue delivery keeps plain enqueues off the dispatcher
+        // (the baselines use state-of-the-art NIC-to-core optimizations,
+        // §5). Hardware enqueuing is done by the village NIC.
+        let now = {
+            let (server, village) = (self.requests[req].server, self.requests[req].village);
+            self.servers[server].villages[village].queue_op(now)
+        };
+        let (server, village) = {
+            let r = &mut self.requests[req];
+            r.enqueued_at = now;
+            r.phase = Phase::Queued;
+            (r.server, r.village)
+        };
+        let service = self.requests[req].service().raw();
+        let mut hot = false;
+        match &mut self.servers[server].villages[village].queue {
+            VillageQueue::Hardware { rq, nic_buffer } => {
+                match rq.enqueue(service, req) {
+                    Ok(slot) => self.requests[req].rq_slot = Some(slot),
+                    Err(_) => {
+                        self.rq_overflows += 1;
+                        nic_buffer.push_back(req);
+                    }
+                }
+                // Autoscaling watermark: the RQ three-quarters full means
+                // this instance cannot absorb the burst (§4.1: "when the
+                // number of concurrent requests exceeds the capacity of
+                // the village, the system creates another instance").
+                hot = rq.len() * 4 >= rq.capacity() * 3;
+            }
+            VillageQueue::Software { ready } => ready.push_back(req),
+        }
+        if hot && self.cfg.autoscale {
+            self.boot_instance(server, service, now);
+        }
+        self.try_start(server, village, now);
+        self.trigger_steal(server, village, now);
+    }
+
+    /// Boots another instance of `service` in the emptiest village,
+    /// reading its snapshot from that village's cluster pool (or cold
+    /// booting without one). The new instance serves requests once its
+    /// `InstanceReady` fires.
+    fn boot_instance(&mut self, server: usize, service: u32, now: Cycles) {
+        if !self.servers[server].booting.insert(service) {
+            return; // a boot is already in flight
+        }
+        // Place where the hardware queues are least loaded and the
+        // service is not already hosted.
+        let hosted: Vec<usize> = self.servers[server]
+            .service_map
+            .villages(service)
+            .to_vec();
+        let target = (0..self.servers[server].villages.len())
+            .filter(|v| !hosted.contains(v))
+            .min_by_key(|&v| match &self.servers[server].villages[v].queue {
+                VillageQueue::Hardware { rq, .. } => rq.len(),
+                VillageQueue::Software { ready } => ready.len(),
+            });
+        let Some(village) = target else {
+            self.servers[server].booting.remove(&service);
+            return; // hosted everywhere already
+        };
+        let cluster = self.servers[server].villages[village].cluster;
+        let freq = self.freq();
+        let boot = self.servers[server].pools[cluster].boot_latency(service, freq);
+        self.instance_boots += 1;
+        self.events.schedule_at(
+            now + boot,
+            Event::InstanceReady {
+                server,
+                service,
+                village,
+            },
+        );
+    }
+
+    fn on_unblock(&mut self, req: ReqId, now: Cycles) {
+        {
+            let r = &mut self.requests[req];
+            r.blocked_cycles += now.saturating_sub(r.blocked_at);
+        }
+        if self.cfg.hold_core_while_blocked {
+            debug_assert_eq!(self.requests[req].phase, Phase::Blocked);
+            self.resume_in_place(req, now);
+            return;
+        }
+        let now = {
+            let (server, village) = (self.requests[req].server, self.requests[req].village);
+            self.servers[server].villages[village].queue_op(now)
+        };
+        let (server, village) = {
+            let r = &mut self.requests[req];
+            debug_assert_eq!(r.phase, Phase::Blocked);
+            r.phase = Phase::Queued;
+            r.enqueued_at = now;
+            (r.server, r.village)
+        };
+        match &mut self.servers[server].villages[village].queue {
+            VillageQueue::Hardware { rq, .. } => {
+                let slot = self.requests[req].rq_slot.expect("blocked in RQ");
+                rq.unblock(slot).expect("blocked entry unblocks");
+            }
+            VillageQueue::Software { ready } => ready.push_back(req),
+        }
+        self.try_start(server, village, now);
+        self.trigger_steal(server, village, now);
+    }
+
+    /// After new work lands in `village`, let an idle core elsewhere on
+    /// the server steal it (the spinning-idle-core model of §3.2's
+    /// work-stealing variant).
+    fn trigger_steal(&mut self, server: usize, village: usize, now: Cycles) {
+        if !self.cfg.work_stealing {
+            return;
+        }
+        let pending = match &self.servers[server].villages[village].queue {
+            VillageQueue::Software { ready } => !ready.is_empty(),
+            VillageQueue::Hardware { .. } => false,
+        };
+        if !pending {
+            return;
+        }
+        let n = self.servers[server].villages.len();
+        for off in 1..n {
+            let v = (village + off) % n;
+            if self.servers[server].villages[v].idle_cores > 0 {
+                self.try_start(server, v, now);
+                return;
+            }
+        }
+    }
+
+    /// Pairs idle cores in `village` with ready requests; steals from
+    /// sibling queues when enabled.
+    fn try_start(&mut self, server: usize, village: usize, now: Cycles) {
+        loop {
+            if self.servers[server].villages[village].idle_cores == 0 {
+                return;
+            }
+            let Some((req, stolen)) = self.pop_ready(server, village) else {
+                return;
+            };
+            self.servers[server].villages[village].idle_cores -= 1;
+            self.start_segment(req, now, stolen);
+        }
+    }
+
+    fn pop_ready(&mut self, server: usize, village: usize) -> Option<(ReqId, bool)> {
+        let policy = self.cfg.dequeue_policy;
+        let requests = &self.requests;
+        // Remaining handler compute of a request, the SRPT key (the
+        // hardware would carry this estimate in the Request Context
+        // Memory, written by the NIC from per-service profiles).
+        let remaining = |&req: &ReqId| -> u64 {
+            requests[req].plan.segments[requests[req].next_segment..]
+                .iter()
+                .map(|s| s.compute_us)
+                .sum::<f64>() as u64
+        };
+        let srv = &mut self.servers[server];
+        match &mut srv.villages[village].queue {
+            VillageQueue::Hardware { rq, .. } => rq
+                .dequeue_any_with(policy, remaining)
+                .map(|(_, &req)| (req, false)),
+            VillageQueue::Software { ready } => {
+                let popped = match policy {
+                    um_sched::DequeuePolicy::Fcfs => ready.pop_front(),
+                    um_sched::DequeuePolicy::Srpt => ready
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, req)| remaining(req))
+                        .map(|(i, _)| i)
+                        .and_then(|i| ready.remove(i)),
+                };
+                if let Some(req) = popped {
+                    return Some((req, false));
+                }
+                if !self.cfg.work_stealing {
+                    return None;
+                }
+                let n = srv.villages.len();
+                for off in 1..n {
+                    let v = (village + off) % n;
+                    if let VillageQueue::Software { ready } = &mut srv.villages[v].queue {
+                        if let Some(req) = ready.pop_front() {
+                            self.steals += 1;
+                            // The request now runs (and will resume) here.
+                            self.requests[req].village = village;
+                            return Some((req, true));
+                        }
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Begins the request's next segment on a core of its village at
+    /// `now`: charges dequeue, context-restore, RPC-processing, coherence
+    /// and steal costs, then schedules the segment's completion.
+    fn start_segment(&mut self, req: ReqId, now: Cycles, stolen: bool) {
+        self.start_segment_inner(req, now, stolen, false)
+    }
+
+    /// Resumes a request on the core it never released (run-to-completion
+    /// mode): no dequeue, no restore, no migration.
+    fn resume_in_place(&mut self, req: ReqId, now: Cycles) {
+        self.start_segment_inner(req, now, false, true)
+    }
+
+    fn start_segment_inner(&mut self, req: ReqId, now: Cycles, stolen: bool, in_place: bool) {
+        let server = self.requests[req].server;
+        let village = self.requests[req].village;
+        let seg = self.requests[req].plan.segments[self.requests[req].next_segment];
+        let first = self.requests[req].next_segment == 0;
+        let resumed = self.requests[req].has_run && !in_place;
+
+        // A request may be claimed by a core whose dispatch attempt began
+        // before the request's (lock-serialized) insertion completed; it
+        // cannot start before it is actually in the queue.
+        let now = now.max(self.requests[req].enqueued_at);
+        let mut t = now;
+        if !in_place {
+            let waited = now - self.requests[req].enqueued_at;
+            self.requests[req].queued_cycles += waited;
+            self.queueing.record(waited.as_micros(self.freq()));
+
+            // Dequeue operation: the queue lock serializes the removal on
+            // software machines; hardware machines execute the Dequeue
+            // instruction against the RQ.
+            t = self.servers[server].villages[village].queue_op(t)
+                + self.cfg.machine.sched_op_cost;
+            // Context restore for resumed requests (the other half of the
+            // switch whose save ran at block time).
+            if resumed {
+                t += self.cs_half();
+                self.ctx_switches += 1;
+            }
+        }
+
+        // On-core RPC-layer work around this segment (§4.3). This is
+        // wall-clock time (frequency-insensitive NIC/kernel latencies)
+        // that nevertheless occupies the core.
+        let mut tax_us = 0.0;
+        if first {
+            tax_us += self.rpc_proc_us(); // incoming request processing
+        }
+        if resumed {
+            tax_us += self.rpc_msg_us(); // response receipt processing
+        }
+        if seg.rpc.is_some() {
+            tax_us += self.rpc_msg_us(); // call issue processing
+        }
+        if stolen {
+            tax_us += params::STEAL_COST_US;
+        }
+        // Tail-at-scale software interference [16]: rare core-occupying
+        // hiccups (kernel preemption, interrupts, daemons). Hardware
+        // request scheduling removes the kernel's NIC/queue path — about
+        // half the interference windows (§4.3) — and hardware context
+        // switching takes the OS off the request path entirely (§4.4).
+        let hiccup_p = if !self.cfg.machine.ctx_switch.is_software() {
+            0.0
+        } else if self.cfg.machine.hw_scheduling {
+            params::SW_HICCUP_P / 2.0
+        } else {
+            params::SW_HICCUP_P
+        };
+        if hiccup_p > 0.0 && self.rng.gen::<f64>() < hiccup_p {
+            tax_us += um_workload::dist::sample_exponential(
+                &mut self.rng,
+                params::SW_HICCUP_MEAN_US,
+            );
+        }
+
+        let village_core = self.servers[server].villages[village].core;
+        let compute =
+            village_core.compute_cycles(seg.compute_us) + self.wall_cycles(tax_us);
+        // Coherence: resumed requests may land on a different core of the
+        // domain and refetch their warm state (§4.1).
+        let cores = self.servers[server].villages[village].cores;
+        let migrated = resumed
+            && cores > 1
+            && self.rng.gen::<f64>() < (cores - 1) as f64 / cores as f64;
+        let coherent = if migrated {
+            self.coherence.overhead_migrated(compute)
+        } else {
+            self.coherence.overhead(compute)
+        };
+
+        // Memory-system traffic on the ICN: the segment's working-set
+        // refetch, write-backs and directory messages. Global coherence
+        // spreads it across the package (random LLC/directory/controller
+        // cluster); village coherence with the cluster memory pool keeps
+        // it local. Link queueing delays the segment (stalled misses).
+        let occupied_us = compute.as_micros(self.freq());
+        let mem_bytes = (occupied_us * self.mem_bytes_per_us()) as u64;
+        let mem_stall = if mem_bytes > 0 {
+            let src = self.core_cluster(server, village);
+            // Without the per-cluster memory pool, even village-coherent
+            // machines fetch read-mostly state from wherever it lives in
+            // the package; the pool (§4.1) is what localizes the traffic.
+            let dst = if self.has_local_pool() {
+                src
+            } else {
+                let clusters = self.cfg.machine.shape.clusters;
+                self.rng.gen_range(0..clusters)
+            };
+            // Pipelined chunks: redundant leaf-spine paths can carry them
+            // in parallel, a tree serializes them through its one route.
+            let chunk = (mem_bytes / params::MEM_TRAFFIC_CHUNKS).max(1);
+            let mut queued = Cycles::ZERO;
+            for _ in 0..params::MEM_TRAFFIC_CHUNKS {
+                let (_, q) = self.servers[server].icn.send_traced(src, dst, chunk, t);
+                queued += q;
+            }
+            // The request stalls for the worst chunk's queueing, not the
+            // sum (chunks overlap with compute).
+            Cycles::new(queued.raw() / params::MEM_TRAFFIC_CHUNKS)
+        } else {
+            Cycles::ZERO
+        };
+
+        let end = t + compute + coherent + mem_stall;
+        {
+            let r = &mut self.requests[req];
+            r.phase = Phase::Running;
+            r.has_run = true;
+            r.cpu_cycles += end - now;
+        }
+        self.servers[server].busy_cycles += (end - now).raw() as u128;
+        self.events.schedule_at(end, Event::SegmentDone { req });
+    }
+
+    fn on_segment_done(&mut self, req: ReqId, now: Cycles) {
+        let seg_idx = self.requests[req].next_segment;
+        let seg = self.requests[req].plan.segments[seg_idx];
+        self.requests[req].next_segment += 1;
+        let server = self.requests[req].server;
+        let village = self.requests[req].village;
+
+        match seg.rpc {
+            Some(RpcKind::Storage { bytes }) => {
+                self.issue_storage(req, bytes, now);
+                self.block_request(req, now);
+            }
+            Some(RpcKind::Call { service }) => {
+                self.issue_call(req, service, now);
+                self.block_request(req, now);
+            }
+            None => {
+                debug_assert!(self.requests[req].is_complete());
+                self.complete_request(req, now);
+            }
+        }
+        let _ = (server, village);
+    }
+
+    /// Context-save path: the core holds the request's state save, then
+    /// frees; the request is marked blocked (its RQ entry persists). In
+    /// run-to-completion mode the core simply stays with the request.
+    fn block_request(&mut self, req: ReqId, now: Cycles) {
+        if self.cfg.hold_core_while_blocked {
+            let r = &mut self.requests[req];
+            r.phase = Phase::Blocked;
+            r.blocked_at = now;
+            return;
+        }
+        let (server, village) = {
+            let r = &mut self.requests[req];
+            r.phase = Phase::Blocked;
+            r.blocked_at = now;
+            r.ctx_switches += 1;
+            (r.server, r.village)
+        };
+        self.ctx_switches += 1;
+        if let Some(slot) = self.requests[req].rq_slot {
+            if let VillageQueue::Hardware { rq, .. } =
+                &mut self.servers[server].villages[village].queue
+            {
+                rq.block(slot).expect("running entry blocks");
+            }
+        }
+        let mut free_at = now;
+        if let Some(d) = &mut self.servers[server].dispatcher {
+            free_at = d.dispatch(free_at);
+        }
+        free_at += self.cs_half();
+        self.servers[server].busy_cycles += (free_at - now).raw() as u128;
+        self.events
+            .schedule_at(free_at, Event::CoreFree { server, village });
+    }
+
+    /// Storage RPC: on-package egress, external fabric to the storage
+    /// tier, exponential storage service, and the journey back.
+    fn issue_storage(&mut self, req: ReqId, bytes: u64, now: Cycles) {
+        let server = self.requests[req].server;
+        let storage = self.cfg.servers; // the storage tier's index
+        let egress = self.servers[server].icn.hop_latency() * 2;
+        let at_storage = self.external.send(server, storage, bytes, now + egress);
+        // In-memory key-value stores serve GETs with low variance: a
+        // lognormal with scv 0.25 around the mean (a long exponential tail
+        // here would put an identical latency floor under every machine
+        // and mask the architectural differences the paper isolates).
+        let service_us = um_workload::ServiceTimeDist::lognormal_with_mean(
+            params::STORAGE_MEAN_US,
+            0.25,
+        )
+        .sample(&mut self.rng);
+        let done = at_storage + self.wall_cycles(service_us);
+        let back = self
+            .external
+            .send(storage, server, params::RESPONSE_BYTES, done);
+        let ingress = self.servers[server].icn.hop_latency() * 2;
+        self.events
+            .schedule_at(back + ingress, Event::Unblock { req });
+    }
+
+    /// Synchronous downstream call: spawn a child request on this server
+    /// and unblock the parent when the child's response returns.
+    fn issue_call(&mut self, req: ReqId, service: ServiceId, now: Cycles) {
+        let server = self.requests[req].server;
+        let src_cluster = {
+            let v = self.requests[req].village;
+            self.core_cluster(server, v)
+        };
+        let child_village = self.pick_village(server, service);
+        let dst_cluster = self.core_cluster(server, child_village);
+        let plan = self.cfg.workload.sample_plan(service, &mut self.rng);
+        let child = self.requests.len();
+        self.requests.push(Request::new(
+            plan,
+            Origin::Parent { req },
+            server,
+            child_village,
+        ));
+        let arrive = self.servers[server].icn.send(
+            src_cluster,
+            dst_cluster,
+            params::REQUEST_BYTES,
+            now,
+        );
+        self.events.schedule_at(
+            arrive + self.cfg.machine.sched_op_cost,
+            Event::Enqueue { req: child },
+        );
+    }
+
+    fn complete_request(&mut self, req: ReqId, now: Cycles) {
+        let (server, village, cpu, blocked, queued) = {
+            let r = &mut self.requests[req];
+            r.phase = Phase::Done;
+            (r.server, r.village, r.cpu_cycles, r.blocked_cycles, r.queued_cycles)
+        };
+        self.completed += 1;
+        let f = self.freq();
+        self.cpu_per_invocation.record(cpu.as_micros(f));
+        self.blocked_per_invocation.record(blocked.as_micros(f));
+        self.queued_per_invocation.record(queued.as_micros(f));
+
+        // The Complete instruction / software completion bookkeeping.
+        let free_at = now + self.cfg.machine.sched_op_cost;
+
+        // Reclaim the RQ slot and admit NIC-buffered requests (§4.3).
+        if let Some(slot) = self.requests[req].rq_slot.take() {
+            let mut admitted = Vec::new();
+            if let VillageQueue::Hardware { rq, nic_buffer } =
+                &mut self.servers[server].villages[village].queue
+            {
+                rq.complete(slot).expect("running entry completes");
+                while let Some(&waiting) = nic_buffer.front() {
+                    let service = self.requests[waiting].service().raw();
+                    match rq.enqueue(service, waiting) {
+                        Ok(new_slot) => {
+                            nic_buffer.pop_front();
+                            admitted.push((waiting, new_slot));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            }
+            for (waiting, slot) in admitted {
+                self.requests[waiting].rq_slot = Some(slot);
+            }
+        }
+
+        // Deliver the response.
+        match self.requests[req].origin {
+            Origin::Client { sent_at } => {
+                let egress = self.servers[server].icn.hop_latency();
+                let latency_us =
+                    (now + egress - sent_at).as_micros(self.freq()) + params::CLIENT_RTT_US;
+                if sent_at >= self.warmup {
+                    self.latency.record(latency_us);
+                    self.recorded += 1;
+                }
+            }
+            Origin::Parent { req: parent } => {
+                let parent_village = self.requests[parent].village;
+                let dst_cluster = self.core_cluster(server, parent_village);
+                let src_cluster = self.core_cluster(server, village);
+                let arrive = self.servers[server].icn.send(
+                    src_cluster,
+                    dst_cluster,
+                    params::RESPONSE_BYTES,
+                    now,
+                );
+                self.events.schedule_at(arrive, Event::Unblock { req: parent });
+            }
+        }
+
+        self.events
+            .schedule_at(free_at, Event::CoreFree { server, village });
+    }
+
+    fn into_report(mut self) -> RunReport {
+        self.latency.freeze();
+        let total_core_cycles = (self.cfg.machine.total_cores() as u128)
+            * (self.horizon.raw() as u128)
+            * (self.cfg.servers as u128);
+        let busy: u128 = self.servers.iter().map(|s| s.busy_cycles).sum();
+        let icn_stats: Vec<um_net::NetworkStats> =
+            self.servers.iter().map(|s| s.icn.stats()).collect();
+        let icn_messages: u64 = icn_stats.iter().map(|s| s.messages).sum();
+        let icn_queue: u64 = icn_stats.iter().map(|s| s.queue_cycles).sum();
+        RunReport {
+            latency: self.latency.summary(),
+            queueing: self.queueing.summary(),
+            cpu_per_invocation: self.cpu_per_invocation.summary(),
+            blocked_per_invocation: self.blocked_per_invocation.summary(),
+            queued_per_invocation: self.queued_per_invocation.summary(),
+            latency_samples: self.latency,
+            completed: self.completed,
+            recorded: self.recorded,
+            utilization: (busy as f64 / total_core_cycles as f64).min(1.0),
+            ctx_switches: self.ctx_switches,
+            steals: self.steals,
+            rq_overflows: self.rq_overflows,
+            instance_boots: self.instance_boots,
+            icn_messages,
+            icn_mean_queue_cycles: if icn_messages == 0 {
+                0.0
+            } else {
+                icn_queue as f64 / icn_messages as f64
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use um_workload::apps::SocialNetwork;
+
+    fn quick(machine: MachineConfig, rps: f64, seed: u64) -> RunReport {
+        SystemSim::new(SimConfig {
+            machine,
+            workload: Workload::social_mix(),
+            rps_per_server: rps,
+            servers: 1,
+            horizon_us: 20_000.0,
+            warmup_us: 2_000.0,
+            seed,
+            ..SimConfig::default()
+        })
+        .run()
+    }
+
+    #[test]
+    fn umanycore_completes_all_requests() {
+        let r = quick(MachineConfig::umanycore(), 5_000.0, 1);
+        assert!(r.completed > 50, "completed {}", r.completed);
+        assert!(r.recorded > 0);
+        assert!(r.latency.mean > 0.0);
+        assert!(r.latency.p99 >= r.latency.p50);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = quick(MachineConfig::umanycore(), 5_000.0, 7);
+        let b = quick(MachineConfig::umanycore(), 5_000.0, 7);
+        assert_eq!(a.latency.p99, b.latency.p99);
+        assert_eq!(a.completed, b.completed);
+        let c = quick(MachineConfig::umanycore(), 5_000.0, 8);
+        assert_ne!(a.latency.p99, c.latency.p99);
+    }
+
+    #[test]
+    fn umanycore_beats_scaleout_tail() {
+        let um = quick(MachineConfig::umanycore(), 10_000.0, 2);
+        let so = quick(MachineConfig::scaleout(), 10_000.0, 2);
+        assert!(
+            um.latency.p99 < so.latency.p99,
+            "uManycore {} vs ScaleOut {}",
+            um.latency.p99,
+            so.latency.p99
+        );
+    }
+
+    #[test]
+    fn scaleout_and_server_class_tails_comparable_at_mid_load() {
+        // Figure 14b: at 10K RPS ScaleOut's tail is within ~25% of
+        // ServerClass's (0.78x in the paper); neither dominates strongly.
+        let so = quick(MachineConfig::scaleout(), 10_000.0, 3);
+        let sc = quick(MachineConfig::server_class_iso_power(), 10_000.0, 3);
+        let ratio = so.latency.p99 / sc.latency.p99;
+        // EXPERIMENTS.md documents that our ScaleOut model runs somewhat
+        // worse than the paper's; the band below accepts that and the
+        // noise of this reduced scale while still catching an order-of-
+        // magnitude regression in either machine.
+        assert!(
+            (0.3..2.5).contains(&ratio),
+            "ScaleOut/ServerClass tail ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn scaleout_beats_saturating_server_class_at_high_load() {
+        // Figure 14c: at 15K RPS of a heavy application (ComposePost) the
+        // 40-core ServerClass saturates; ScaleOut's 1024 cores pull
+        // clearly ahead on tail latency.
+        let run = |machine: MachineConfig| {
+            SystemSim::new(SimConfig {
+                machine,
+                workload: Workload::social_app(SocialNetwork::CPOST),
+                rps_per_server: 15_000.0,
+                horizon_us: 60_000.0,
+                warmup_us: 6_000.0,
+                seed: 3,
+                ..SimConfig::default()
+            })
+            .run()
+        };
+        let so = run(MachineConfig::scaleout());
+        let sc = run(MachineConfig::server_class_iso_power());
+        assert!(
+            so.latency.p99 < sc.latency.p99,
+            "ScaleOut {} vs ServerClass {}",
+            so.latency.p99,
+            sc.latency.p99
+        );
+    }
+
+    #[test]
+    fn server_class_utilization_bands() {
+        // §5: 5K RPS is <30% utilization, 15K is >60% on ServerClass.
+        let low = quick(MachineConfig::server_class_iso_power(), 5_000.0, 4);
+        assert!(low.utilization < 0.35, "5K load utilization {}", low.utilization);
+        let high = quick(MachineConfig::server_class_iso_power(), 15_000.0, 4);
+        assert!(high.utilization > 0.5, "15K load utilization {}", high.utilization);
+    }
+
+    #[test]
+    fn umanycore_runs_at_low_utilization() {
+        let r = quick(MachineConfig::umanycore(), 15_000.0, 5);
+        assert!(r.utilization < 0.2, "utilization {}", r.utilization);
+    }
+
+    #[test]
+    fn tail_grows_with_load() {
+        let lo = quick(MachineConfig::server_class_iso_power(), 5_000.0, 6);
+        let hi = quick(MachineConfig::server_class_iso_power(), 15_000.0, 6);
+        assert!(hi.latency.p99 > lo.latency.p99);
+    }
+
+    #[test]
+    fn per_app_workload_runs() {
+        let r = SystemSim::new(SimConfig {
+            machine: MachineConfig::umanycore(),
+            workload: Workload::social_app(SocialNetwork::CPOST),
+            rps_per_server: 3_000.0,
+            horizon_us: 20_000.0,
+            warmup_us: 2_000.0,
+            seed: 9,
+            ..SimConfig::default()
+        })
+        .run();
+        assert!(r.completed > 20);
+    }
+
+    #[test]
+    fn queue_override_changes_layout() {
+        let one_queue = SystemSim::new(SimConfig {
+            machine: MachineConfig::scaleout(),
+            queues_override: Some(1),
+            rps_per_server: 5_000.0,
+            horizon_us: 10_000.0,
+            warmup_us: 1_000.0,
+            seed: 10,
+            ..SimConfig::default()
+        })
+        .run();
+        assert!(one_queue.completed > 10);
+    }
+
+    #[test]
+    fn work_stealing_counts_steals() {
+        let r = SystemSim::new(SimConfig {
+            machine: MachineConfig::scaleout(),
+            queues_override: Some(1024),
+            work_stealing: true,
+            rps_per_server: 5_000.0,
+            horizon_us: 10_000.0,
+            warmup_us: 1_000.0,
+            seed: 11,
+            ..SimConfig::default()
+        })
+        .run();
+        assert!(r.steals > 0, "per-core queues should trigger steals");
+    }
+
+    #[test]
+    fn ctx_switches_happen() {
+        let r = quick(MachineConfig::scaleout(), 5_000.0, 12);
+        // Every storage RPC blocks: several context switches per request.
+        assert!(r.ctx_switches as f64 > r.completed as f64);
+    }
+
+    #[test]
+    fn contention_free_icn_not_slower() {
+        let base = SimConfig {
+            machine: MachineConfig::scaleout(),
+            rps_per_server: 20_000.0,
+            horizon_us: 15_000.0,
+            warmup_us: 1_000.0,
+            seed: 13,
+            ..SimConfig::default()
+        };
+        let with = SystemSim::new(base.clone()).run();
+        let without = SystemSim::new(SimConfig {
+            icn_contention: false,
+            ..base
+        })
+        .run();
+        assert!(without.latency.p99 <= with.latency.p99 * 1.05);
+    }
+
+    #[test]
+    fn heterogeneous_villages_run_and_differ() {
+        let homo = quick(MachineConfig::umanycore(), 8_000.0, 21);
+        let hetero = quick(MachineConfig::umanycore_heterogeneous(32), 8_000.0, 21);
+        assert!(hetero.completed > 50);
+        // Big cores change segment timings, so the runs must diverge.
+        assert_ne!(
+            homo.latency.mean.to_bits(),
+            hetero.latency.mean.to_bits()
+        );
+    }
+
+    #[test]
+    fn train_ticket_runs_through_the_system() {
+        let r = SystemSim::new(SimConfig {
+            machine: MachineConfig::umanycore(),
+            workload: Workload::train_mix(),
+            rps_per_server: 5_000.0,
+            horizon_us: 20_000.0,
+            warmup_us: 2_000.0,
+            seed: 31,
+            ..SimConfig::default()
+        })
+        .run();
+        assert!(r.completed > 50);
+        assert!(r.latency.p99 > r.latency.p50);
+    }
+
+    #[test]
+    fn breakdown_components_are_consistent() {
+        let r = quick(MachineConfig::umanycore(), 8_000.0, 22);
+        // Every completed invocation consumed some CPU.
+        assert!(r.cpu_per_invocation.mean > 0.0);
+        // An invocation's CPU share cannot exceed its end-to-end budget:
+        // the mean root latency bounds the mean per-invocation components.
+        assert!(r.cpu_per_invocation.mean < r.latency.mean);
+        // Hardware machines do not queue-wait at these loads.
+        assert!(r.queued_per_invocation.mean < 50.0);
+    }
+
+    #[test]
+    fn srpt_policy_is_accepted_and_deterministic() {
+        let run = |policy| {
+            SystemSim::new(SimConfig {
+                machine: MachineConfig::umanycore(),
+                workload: Workload::social_mix(),
+                rps_per_server: 8_000.0,
+                horizon_us: 15_000.0,
+                warmup_us: 1_500.0,
+                seed: 23,
+                dequeue_policy: policy,
+                ..SimConfig::default()
+            })
+            .run()
+        };
+        let a = run(um_sched::DequeuePolicy::Srpt);
+        let b = run(um_sched::DequeuePolicy::Srpt);
+        assert_eq!(a.latency.p99.to_bits(), b.latency.p99.to_bits());
+        assert!(a.completed > 20);
+    }
+
+    #[test]
+    fn autoscaling_boots_instances_under_bursts() {
+        let run = |autoscale: bool| {
+            let mut machine = MachineConfig::umanycore();
+            machine.rq_capacity = 8;
+            SystemSim::new(SimConfig {
+                machine,
+                workload: Workload::social_mix(),
+                rps_per_server: 120_000.0,
+                // Long enough for the MMPP to visit its burst state
+                // (~220 ms mean low-state sojourn).
+                horizon_us: 150_000.0,
+                warmup_us: 15_000.0,
+                seed: 13,
+                arrivals: crate::system::ArrivalProcess::Bursty,
+                autoscale,
+                ..SimConfig::default()
+            })
+            .run()
+        };
+        let off = run(false);
+        let on = run(true);
+        assert_eq!(off.instance_boots, 0);
+        assert!(on.instance_boots > 0, "bursts must trigger boots");
+        assert!(
+            on.latency.p99 <= off.latency.p99,
+            "pool-backed autoscaling must not hurt the tail: {} vs {}",
+            on.latency.p99,
+            off.latency.p99
+        );
+    }
+
+    #[test]
+    fn bursty_arrivals_are_deterministic_and_bursty() {
+        let run = || {
+            SystemSim::new(SimConfig {
+                machine: MachineConfig::umanycore(),
+                workload: Workload::social_mix(),
+                rps_per_server: 10_000.0,
+                horizon_us: 20_000.0,
+                warmup_us: 2_000.0,
+                seed: 17,
+                arrivals: crate::system::ArrivalProcess::Bursty,
+                ..SimConfig::default()
+            })
+            .run()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.latency.p99.to_bits(), b.latency.p99.to_bits());
+        assert!(a.completed > 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn bad_queue_override_rejected() {
+        SystemSim::new(SimConfig {
+            queues_override: Some(3),
+            ..SimConfig::default()
+        });
+    }
+}

@@ -1,0 +1,257 @@
+//! Workload selection for system runs.
+
+use rand::Rng;
+use um_workload::apps::SocialNetwork;
+use um_workload::synthetic::SyntheticWorkload;
+use um_workload::trainticket::TrainTicket;
+use um_workload::{RequestPlan, ServiceGraph, ServiceId};
+
+/// Which workload a system run draws requests from.
+#[derive(Clone, Debug)]
+pub enum Workload {
+    /// One SocialNetwork root service (a Figure 14 per-app run); nested
+    /// calls still reach the whole graph.
+    SocialApp {
+        /// The root service external requests invoke.
+        root: ServiceId,
+        /// The application graph.
+        apps: SocialNetwork,
+    },
+    /// A uniform mix over all eight SocialNetwork roots (Figures 3, 6, 7).
+    SocialMix {
+        /// The application graph.
+        apps: SocialNetwork,
+    },
+    /// A synthetic uSuite-style workload (Figure 20).
+    Synthetic(SyntheticWorkload),
+    /// Any custom application graph; `root` pins one externally invoked
+    /// service, `None` draws uniformly over the graph's roots.
+    Graph {
+        /// The application graph.
+        graph: ServiceGraph,
+        /// Optional fixed root.
+        root: Option<ServiceId>,
+    },
+}
+
+impl Workload {
+    /// A single-app SocialNetwork workload.
+    pub fn social_app(root: ServiceId) -> Self {
+        Workload::SocialApp {
+            root,
+            apps: SocialNetwork::new(),
+        }
+    }
+
+    /// The uniform eight-app mix.
+    pub fn social_mix() -> Self {
+        Workload::SocialMix {
+            apps: SocialNetwork::new(),
+        }
+    }
+
+    /// A uniform mix over the TrainTicket suite's root services (§3 also
+    /// characterizes TrainTicket; see `um_workload::trainticket`).
+    pub fn train_mix() -> Self {
+        Workload::Graph {
+            graph: TrainTicket::new().into_graph(),
+            root: None,
+        }
+    }
+
+    /// A single TrainTicket root service.
+    pub fn train_app(root: ServiceId) -> Self {
+        Workload::Graph {
+            graph: TrainTicket::new().into_graph(),
+            root: Some(root),
+        }
+    }
+
+    /// All service ids this workload can enqueue (used to populate
+    /// ServiceMaps).
+    pub fn services(&self) -> Vec<ServiceId> {
+        match self {
+            Workload::SocialApp { apps, .. } | Workload::SocialMix { apps } => {
+                (0..apps.len() as u32).map(ServiceId::new).collect()
+            }
+            Workload::Synthetic(_) => vec![um_workload::synthetic::SYNTHETIC_SERVICE],
+            Workload::Graph { graph, .. } => {
+                (0..graph.len() as u32).map(ServiceId::new).collect()
+            }
+        }
+    }
+
+    /// Samples the root service for the next external request.
+    pub fn sample_root<R: Rng + ?Sized>(&self, rng: &mut R) -> ServiceId {
+        match self {
+            Workload::SocialApp { root, .. } => *root,
+            Workload::SocialMix { .. } => {
+                SocialNetwork::ALL[rng.gen_range(0..SocialNetwork::ALL.len())]
+            }
+            Workload::Synthetic(_) => um_workload::synthetic::SYNTHETIC_SERVICE,
+            Workload::Graph { graph, root } => root.unwrap_or_else(|| {
+                graph.roots()[rng.gen_range(0..graph.roots().len())]
+            }),
+        }
+    }
+
+    /// Mean handler compute of a service in reference-core microseconds —
+    /// the weight used to steer heavy services to big-core villages in the
+    /// heterogeneous-villages extension (§8).
+    pub fn service_weight(&self, service: ServiceId) -> f64 {
+        match self {
+            Workload::SocialApp { apps, .. } | Workload::SocialMix { apps } => {
+                apps.profile(service).compute.mean()
+            }
+            Workload::Synthetic(w) => w.service_time.mean(),
+            Workload::Graph { graph, .. } => graph.profile(service).compute.mean(),
+        }
+    }
+
+    /// Samples an execution plan for a request of `service`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a synthetic workload is asked for a non-synthetic service.
+    pub fn sample_plan<R: Rng + ?Sized>(
+        &self,
+        service: ServiceId,
+        rng: &mut R,
+    ) -> RequestPlan {
+        match self {
+            Workload::SocialApp { apps, .. } | Workload::SocialMix { apps } => {
+                apps.sample_plan(service, rng)
+            }
+            Workload::Synthetic(w) => {
+                assert_eq!(
+                    service,
+                    um_workload::synthetic::SYNTHETIC_SERVICE,
+                    "synthetic workload only serves the synthetic service"
+                );
+                w.sample_plan(rng)
+            }
+            Workload::Graph { graph, .. } => graph.sample_plan(service, rng),
+        }
+    }
+
+    /// Mean *tree* compute per external request in reference-core
+    /// microseconds (handler time only, excluding the RPC software tax) —
+    /// used for utilization estimates.
+    pub fn mean_tree_compute_us<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match self {
+            Workload::SocialApp { root, apps } => {
+                let n = 300;
+                (0..n)
+                    .map(|_| {
+                        apps.expand_tree(*root, rng)
+                            .iter()
+                            .map(|p| p.compute_us())
+                            .sum::<f64>()
+                    })
+                    .sum::<f64>()
+                    / n as f64
+            }
+            Workload::SocialMix { apps } => {
+                let mut total = 0.0;
+                for &root in &SocialNetwork::ALL {
+                    for _ in 0..100 {
+                        total += apps
+                            .expand_tree(root, rng)
+                            .iter()
+                            .map(|p| p.compute_us())
+                            .sum::<f64>();
+                    }
+                }
+                total / (8.0 * 100.0)
+            }
+            Workload::Synthetic(w) => w.service_time.mean(),
+            Workload::Graph { graph, root } => {
+                let roots: Vec<ServiceId> = match root {
+                    Some(r) => vec![*r],
+                    None => graph.roots().to_vec(),
+                };
+                let n = 100;
+                let mut total = 0.0;
+                for &r0 in &roots {
+                    for _ in 0..n {
+                        total += graph
+                            .expand_tree(r0, rng)
+                            .iter()
+                            .map(|p| p.compute_us())
+                            .sum::<f64>();
+                    }
+                }
+                total / (roots.len() * n) as f64
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use um_workload::ServiceTimeDist;
+
+    #[test]
+    fn social_app_always_roots_at_app() {
+        let w = Workload::social_app(SocialNetwork::SGRAPH);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..20 {
+            assert_eq!(w.sample_root(&mut rng), SocialNetwork::SGRAPH);
+        }
+        assert_eq!(w.services().len(), 11); // 8 roots + 3 backend tiers
+    }
+
+    #[test]
+    fn mix_covers_all_roots() {
+        let w = Workload::social_mix();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..500 {
+            seen.insert(w.sample_root(&mut rng));
+        }
+        assert_eq!(seen.len(), 8);
+    }
+
+    #[test]
+    fn synthetic_single_service() {
+        let w = Workload::Synthetic(SyntheticWorkload::new(
+            ServiceTimeDist::exponential(100.0),
+            2,
+            6,
+        ));
+        let mut rng = SmallRng::seed_from_u64(3);
+        let svc = w.sample_root(&mut rng);
+        let plan = w.sample_plan(svc, &mut rng);
+        assert_eq!(plan.service, svc);
+        assert_eq!(w.services(), vec![svc]);
+    }
+
+    #[test]
+    fn train_ticket_workload_runs() {
+        let w = Workload::train_mix();
+        let mut rng = SmallRng::seed_from_u64(5);
+        assert_eq!(w.services().len(), 12);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let root = w.sample_root(&mut rng);
+            seen.insert(root);
+            let plan = w.sample_plan(root, &mut rng);
+            assert_eq!(plan.service, root);
+        }
+        assert_eq!(seen.len(), 4, "all four TrainTicket roots appear");
+        let pinned = Workload::train_app(um_workload::trainticket::TrainTicket::ORDER);
+        assert_eq!(
+            pinned.sample_root(&mut rng),
+            um_workload::trainticket::TrainTicket::ORDER
+        );
+    }
+
+    #[test]
+    fn mean_tree_compute_positive() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        assert!(Workload::social_mix().mean_tree_compute_us(&mut rng) > 100.0);
+    }
+}

@@ -1,0 +1,503 @@
+//! Set-associative cache with true-LRU replacement.
+
+use std::fmt;
+
+/// Geometry of a cache: capacity, associativity and line size.
+///
+/// # Examples
+///
+/// ```
+/// use um_mem::cache::CacheConfig;
+///
+/// // Table 2: uManycore L2 — 256 KB, 16-way, 64 B lines.
+/// let cfg = CacheConfig::new(256 * 1024, 16, 64);
+/// assert_eq!(cfg.sets(), 256);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CacheConfig {
+    size_bytes: usize,
+    ways: usize,
+    line_bytes: usize,
+}
+
+impl CacheConfig {
+    /// Creates a cache geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless all parameters are powers of two, `ways >= 1`, and the
+    /// capacity divides evenly into `ways * line_bytes` sets.
+    pub fn new(size_bytes: usize, ways: usize, line_bytes: usize) -> Self {
+        assert!(size_bytes.is_power_of_two(), "size must be a power of two");
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(ways >= 1, "need at least one way");
+        assert!(
+            size_bytes >= ways * line_bytes,
+            "cache smaller than one set: {size_bytes} < {ways}x{line_bytes}"
+        );
+        assert_eq!(
+            size_bytes % (ways * line_bytes),
+            0,
+            "capacity must divide into whole sets"
+        );
+        let cfg = Self {
+            size_bytes,
+            ways,
+            line_bytes,
+        };
+        assert!(cfg.sets().is_power_of_two(), "set count must be a power of two");
+        cfg
+    }
+
+    /// Total capacity in bytes.
+    pub fn size_bytes(self) -> usize {
+        self.size_bytes
+    }
+
+    /// Associativity.
+    pub fn ways(self) -> usize {
+        self.ways
+    }
+
+    /// Line size in bytes.
+    pub fn line_bytes(self) -> usize {
+        self.line_bytes
+    }
+
+    /// Number of sets.
+    pub fn sets(self) -> usize {
+        self.size_bytes / (self.ways * self.line_bytes)
+    }
+}
+
+/// Outcome of a cache access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessResult {
+    /// The line was present.
+    Hit,
+    /// The line was absent; if a dirty line was displaced its address is
+    /// carried so the caller can model a write-back.
+    Miss {
+        /// Line-aligned address of an evicted *dirty* line, if any.
+        dirty_evict: Option<u64>,
+    },
+}
+
+impl AccessResult {
+    /// Whether the access hit.
+    pub fn is_hit(self) -> bool {
+        matches!(self, AccessResult::Hit)
+    }
+
+    /// Whether the access missed.
+    pub fn is_miss(self) -> bool {
+        !self.is_hit()
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// Monotone use-stamp for true LRU.
+    stamp: u64,
+}
+
+const INVALID: Line = Line {
+    tag: 0,
+    valid: false,
+    dirty: false,
+    stamp: 0,
+};
+
+/// Running hit/miss counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Dirty lines displaced (write-backs generated).
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `\[0, 1\]`; 0.0 before any access.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+
+    /// Miss count.
+    pub fn misses(&self) -> u64 {
+        self.accesses - self.hits
+    }
+}
+
+/// A set-associative, write-back, write-allocate cache with true LRU.
+///
+/// This is the building block for the paper's L1/L2/L3 caches (Table 2) and,
+/// at page granularity, for TLBs. Addresses are byte addresses; the cache
+/// tracks presence only (no data), which is all the timing model needs.
+///
+/// # Examples
+///
+/// ```
+/// use um_mem::cache::{Cache, CacheConfig};
+///
+/// let mut c = Cache::new(CacheConfig::new(1024, 2, 64));
+/// assert!(c.access(0x0, false).is_miss());
+/// assert!(c.access(0x0, false).is_hit());
+/// assert!(c.access(0x3f, false).is_hit()); // same 64B line
+/// assert!(c.access(0x40, false).is_miss()); // next line
+/// ```
+#[derive(Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    lines: Vec<Line>,
+    stats: CacheStats,
+    clock: u64,
+    set_shift: u32,
+    set_mask: u64,
+}
+
+impl Cache {
+    /// Creates an empty (all-invalid) cache.
+    pub fn new(config: CacheConfig) -> Self {
+        Self {
+            config,
+            lines: vec![INVALID; config.sets() * config.ways()],
+            stats: CacheStats::default(),
+            clock: 0,
+            set_shift: config.line_bytes().trailing_zeros(),
+            set_mask: (config.sets() - 1) as u64,
+        }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Running statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resets statistics but keeps cache contents (for warm-up phases).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Invalidates every line and clears statistics.
+    pub fn flush(&mut self) {
+        self.lines.fill(INVALID);
+        self.stats = CacheStats::default();
+        self.clock = 0;
+    }
+
+    fn set_index(&self, addr: u64) -> usize {
+        ((addr >> self.set_shift) & self.set_mask) as usize
+    }
+
+    fn tag(&self, addr: u64) -> u64 {
+        addr >> (self.set_shift + self.set_mask.count_ones())
+    }
+
+    /// Line-aligned base address reconstructed from a set index and tag.
+    fn line_addr(&self, set: usize, tag: u64) -> u64 {
+        (tag << (self.set_shift + self.set_mask.count_ones()))
+            | ((set as u64) << self.set_shift)
+    }
+
+    /// Performs one access; `is_write` marks the line dirty on hit or fill.
+    pub fn access(&mut self, addr: u64, is_write: bool) -> AccessResult {
+        self.access_inner(addr, is_write, true)
+    }
+
+    /// Inserts `addr`'s line without counting a demand access — the
+    /// prefetch fill path. Write-backs of displaced dirty lines are still
+    /// counted (the traffic is real).
+    pub fn fill(&mut self, addr: u64) -> AccessResult {
+        self.access_inner(addr, false, false)
+    }
+
+    fn access_inner(&mut self, addr: u64, is_write: bool, demand: bool) -> AccessResult {
+        self.clock += 1;
+        if demand {
+            self.stats.accesses += 1;
+        }
+        let set = self.set_index(addr);
+        let tag = self.tag(addr);
+        let ways = self.config.ways();
+        let base = set * ways;
+        let set_lines = &mut self.lines[base..base + ways];
+
+        // Hit path.
+        if let Some(line) = set_lines.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.stamp = self.clock;
+            line.dirty |= is_write;
+            if demand {
+                self.stats.hits += 1;
+            }
+            return AccessResult::Hit;
+        }
+
+        // Miss: fill into an invalid way, else evict true-LRU.
+        let victim = set_lines
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.stamp } else { 0 })
+            .expect("ways >= 1");
+        let displaced_dirty = victim.valid && victim.dirty;
+        let evicted_tag = victim.tag;
+        *victim = Line {
+            tag,
+            valid: true,
+            dirty: is_write,
+            stamp: self.clock,
+        };
+        let dirty_evict = if displaced_dirty {
+            self.stats.writebacks += 1;
+            Some(self.line_addr(set, evicted_tag))
+        } else {
+            None
+        };
+        AccessResult::Miss { dirty_evict }
+    }
+
+    /// Whether `addr`'s line is currently resident (no statistics side
+    /// effects, no LRU update).
+    pub fn probe(&self, addr: u64) -> bool {
+        let set = self.set_index(addr);
+        let tag = self.tag(addr);
+        let ways = self.config.ways();
+        self.lines[set * ways..(set + 1) * ways]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Number of currently valid lines.
+    pub fn occupancy(&self) -> usize {
+        self.lines.iter().filter(|l| l.valid).count()
+    }
+}
+
+impl fmt::Debug for Cache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Cache")
+            .field("config", &self.config)
+            .field("stats", &self.stats)
+            .field("occupancy", &self.occupancy())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 2 sets x 2 ways x 64B lines = 256B.
+        Cache::new(CacheConfig::new(256, 2, 64))
+    }
+
+    #[test]
+    fn config_geometry() {
+        let cfg = CacheConfig::new(64 * 1024, 8, 64);
+        assert_eq!(cfg.sets(), 128);
+        assert_eq!(cfg.ways(), 8);
+        assert_eq!(cfg.line_bytes(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_size_rejected() {
+        CacheConfig::new(3000, 2, 64);
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny();
+        assert!(c.access(0x100, false).is_miss());
+        assert!(c.access(0x100, false).is_hit());
+        assert_eq!(c.stats().accesses, 2);
+        assert_eq!(c.stats().hits, 1);
+    }
+
+    #[test]
+    fn same_line_offsets_hit() {
+        let mut c = tiny();
+        c.access(0x40, false);
+        for off in 1..64 {
+            assert!(c.access(0x40 + off, false).is_hit(), "offset {off}");
+        }
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny();
+        // Set 0 holds lines with addr bit 6 == 0 (sets are addr[6]).
+        // Three distinct tags mapping to set 0: 0x000, 0x080, 0x100.
+        c.access(0x000, false);
+        c.access(0x080, false);
+        c.access(0x000, false); // refresh 0x000 => LRU is 0x080
+        assert!(c.access(0x100, false).is_miss()); // evicts 0x080
+        assert!(c.probe(0x000));
+        assert!(!c.probe(0x080));
+        assert!(c.probe(0x100));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback_address() {
+        let mut c = tiny();
+        c.access(0x000, true); // dirty
+        c.access(0x080, false);
+        let res = c.access(0x100, false); // evicts dirty 0x000
+        match res {
+            AccessResult::Miss { dirty_evict: Some(addr) } => assert_eq!(addr, 0x000),
+            other => panic!("expected dirty eviction, got {other:?}"),
+        }
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn clean_eviction_no_writeback() {
+        let mut c = tiny();
+        c.access(0x000, false);
+        c.access(0x080, false);
+        let res = c.access(0x100, false);
+        assert_eq!(res, AccessResult::Miss { dirty_evict: None });
+        assert_eq!(c.stats().writebacks, 0);
+    }
+
+    #[test]
+    fn write_hit_marks_dirty() {
+        let mut c = tiny();
+        c.access(0x000, false);
+        c.access(0x000, true); // now dirty via hit
+        c.access(0x080, false);
+        let res = c.access(0x100, false);
+        assert!(matches!(res, AccessResult::Miss { dirty_evict: Some(0x000) }));
+    }
+
+    #[test]
+    fn distinct_sets_do_not_conflict() {
+        let mut c = tiny();
+        c.access(0x000, false); // set 0
+        c.access(0x040, false); // set 1
+        c.access(0x080, false); // set 0
+        assert!(c.probe(0x000) && c.probe(0x040) && c.probe(0x080));
+        assert_eq!(c.occupancy(), 3);
+    }
+
+    #[test]
+    fn flush_empties() {
+        let mut c = tiny();
+        c.access(0x0, true);
+        c.flush();
+        assert_eq!(c.occupancy(), 0);
+        assert_eq!(c.stats().accesses, 0);
+        assert!(c.access(0x0, false).is_miss());
+    }
+
+    #[test]
+    fn reset_stats_keeps_contents() {
+        let mut c = tiny();
+        c.access(0x0, false);
+        c.reset_stats();
+        assert_eq!(c.stats().accesses, 0);
+        assert!(c.access(0x0, false).is_hit());
+    }
+
+    #[test]
+    fn working_set_within_capacity_converges_to_hits() {
+        let mut c = Cache::new(CacheConfig::new(64 * 1024, 8, 64));
+        let lines = 64 * 1024 / 64;
+        // Touch half the capacity twice: second pass must be all hits.
+        for addr in (0..lines as u64 / 2).map(|i| i * 64) {
+            c.access(addr, false);
+        }
+        c.reset_stats();
+        for addr in (0..lines as u64 / 2).map(|i| i * 64) {
+            assert!(c.access(addr, false).is_hit());
+        }
+        assert_eq!(c.stats().hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn hit_rate_zero_before_accesses() {
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn fill_does_not_count_as_demand() {
+        let mut c = tiny();
+        c.fill(0x100);
+        assert_eq!(c.stats().accesses, 0);
+        // The prefetched line hits on the next demand access.
+        assert!(c.access(0x100, false).is_hit());
+        assert_eq!(c.stats().hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn fill_evictions_still_write_back() {
+        let mut c = tiny();
+        c.access(0x000, true); // dirty
+        c.access(0x080, false);
+        let res = c.fill(0x100); // displaces dirty 0x000
+        assert!(matches!(res, AccessResult::Miss { dirty_evict: Some(0x000) }));
+        assert_eq!(c.stats().writebacks, 1);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Occupancy never exceeds capacity, and probe agrees with a
+        /// shadow model of "most recently used lines per set".
+        #[test]
+        fn occupancy_bounded(addrs in proptest::collection::vec(0u64..1_000_000, 1..500)) {
+            let cfg = CacheConfig::new(4096, 4, 64);
+            let mut c = Cache::new(cfg);
+            for &a in &addrs {
+                c.access(a, a % 3 == 0);
+            }
+            prop_assert!(c.occupancy() <= cfg.sets() * cfg.ways());
+            prop_assert_eq!(c.stats().accesses, addrs.len() as u64);
+        }
+
+        /// An immediately repeated access always hits.
+        #[test]
+        fn repeat_hits(addrs in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+            let mut c = Cache::new(CacheConfig::new(4096, 4, 64));
+            for &a in &addrs {
+                c.access(a, false);
+                prop_assert!(c.access(a, false).is_hit());
+            }
+        }
+
+        /// LRU with a working set no larger than one set's ways never
+        /// evicts within that set.
+        #[test]
+        fn no_thrash_within_ways(start in 0u64..1000) {
+            let cfg = CacheConfig::new(4096, 4, 64);
+            let mut c = Cache::new(cfg);
+            let sets = cfg.sets() as u64;
+            // Four addresses mapping to the same set.
+            let addrs: Vec<u64> = (0..4).map(|i| (start * 64) + i * sets * 64).collect();
+            for &a in &addrs { c.access(a, false); }
+            for _ in 0..8 {
+                for &a in &addrs {
+                    prop_assert!(c.access(a, false).is_hit());
+                }
+            }
+        }
+    }
+}

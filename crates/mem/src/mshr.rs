@@ -1,0 +1,165 @@
+//! Miss-status holding registers.
+//!
+//! Table 2 gives the paper's caches 20 MSHRs. MSHRs bound the number of
+//! *distinct* outstanding misses; secondary misses to an already-pending
+//! line merge into the existing entry instead of consuming a new one.
+
+use std::collections::HashMap;
+
+/// Result of attempting to allocate an MSHR for a missing line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MshrOutcome {
+    /// A new entry was allocated: this is a primary miss that goes to the
+    /// next level.
+    Primary,
+    /// The line already has a pending miss; this request piggybacks on it.
+    Secondary,
+    /// All MSHRs are busy: the access must stall until one retires.
+    Stall,
+}
+
+/// A file of miss-status holding registers.
+///
+/// # Examples
+///
+/// ```
+/// use um_mem::mshr::{MshrFile, MshrOutcome};
+///
+/// let mut m = MshrFile::new(2);
+/// assert_eq!(m.allocate(0x00), MshrOutcome::Primary);
+/// assert_eq!(m.allocate(0x00), MshrOutcome::Secondary); // merged
+/// assert_eq!(m.allocate(0x40), MshrOutcome::Primary);
+/// assert_eq!(m.allocate(0x80), MshrOutcome::Stall);     // file full
+/// m.retire(0x00);
+/// assert_eq!(m.allocate(0x80), MshrOutcome::Primary);
+/// ```
+#[derive(Clone, Debug)]
+pub struct MshrFile {
+    capacity: usize,
+    // line address -> number of merged (secondary) requests
+    pending: HashMap<u64, u64>,
+    stalls: u64,
+    merges: u64,
+}
+
+impl MshrFile {
+    /// Creates an MSHR file with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "an MSHR file needs at least one entry");
+        Self {
+            capacity,
+            pending: HashMap::new(),
+            stalls: 0,
+            merges: 0,
+        }
+    }
+
+    /// Attempts to track a miss on `line_addr`.
+    pub fn allocate(&mut self, line_addr: u64) -> MshrOutcome {
+        if let Some(count) = self.pending.get_mut(&line_addr) {
+            *count += 1;
+            self.merges += 1;
+            return MshrOutcome::Secondary;
+        }
+        if self.pending.len() >= self.capacity {
+            self.stalls += 1;
+            return MshrOutcome::Stall;
+        }
+        self.pending.insert(line_addr, 0);
+        MshrOutcome::Primary
+    }
+
+    /// Retires the miss on `line_addr` (fill returned), freeing its entry.
+    ///
+    /// Returns the number of merged secondary requests that were waiting.
+    /// Retiring an address with no pending entry is a no-op returning 0,
+    /// which tolerates races with flushes.
+    pub fn retire(&mut self, line_addr: u64) -> u64 {
+        self.pending.remove(&line_addr).unwrap_or(0)
+    }
+
+    /// Number of in-flight distinct misses.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether a miss on `line_addr` is pending.
+    pub fn is_pending(&self, line_addr: u64) -> bool {
+        self.pending.contains_key(&line_addr)
+    }
+
+    /// Whether the file has no free entries.
+    pub fn is_full(&self) -> bool {
+        self.pending.len() >= self.capacity
+    }
+
+    /// Total allocation attempts rejected for lack of entries.
+    pub fn stall_count(&self) -> u64 {
+        self.stalls
+    }
+
+    /// Total secondary misses merged.
+    pub fn merge_count(&self) -> u64 {
+        self.merges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primary_then_merge() {
+        let mut m = MshrFile::new(4);
+        assert_eq!(m.allocate(0x100), MshrOutcome::Primary);
+        assert_eq!(m.allocate(0x100), MshrOutcome::Secondary);
+        assert_eq!(m.allocate(0x100), MshrOutcome::Secondary);
+        assert_eq!(m.retire(0x100), 2);
+        assert_eq!(m.in_flight(), 0);
+    }
+
+    #[test]
+    fn stalls_when_full() {
+        let mut m = MshrFile::new(1);
+        m.allocate(0);
+        assert_eq!(m.allocate(64), MshrOutcome::Stall);
+        assert_eq!(m.stall_count(), 1);
+        assert!(m.is_full());
+    }
+
+    #[test]
+    fn retire_frees_entry() {
+        let mut m = MshrFile::new(1);
+        m.allocate(0);
+        m.retire(0);
+        assert!(!m.is_full());
+        assert_eq!(m.allocate(64), MshrOutcome::Primary);
+    }
+
+    #[test]
+    fn retire_unknown_is_noop() {
+        let mut m = MshrFile::new(1);
+        assert_eq!(m.retire(0xdead), 0);
+    }
+
+    #[test]
+    fn merge_does_not_consume_capacity() {
+        let mut m = MshrFile::new(2);
+        m.allocate(0);
+        for _ in 0..100 {
+            assert_eq!(m.allocate(0), MshrOutcome::Secondary);
+        }
+        assert_eq!(m.allocate(64), MshrOutcome::Primary);
+        assert_eq!(m.merge_count(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_rejected() {
+        MshrFile::new(0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Inter-server datacenter network (Table 2).
+//!
+//! Requests travel between the 10 servers of the evaluated cluster over a
+//! lossy external network with a 1 us round trip and 200 GB/s of NIC
+//! bandwidth per server. The R-NIC handles retransmission and congestion
+//! control (§4.1); at the timescales simulated, its effect is the base RTT
+//! plus serialization and NIC-queueing delay, which is what this model
+//! charges.
+
+use um_sim::{Cycles, Frequency};
+
+/// The inter-server network: per-server NIC egress queues plus a fixed
+/// propagation delay.
+///
+/// # Examples
+///
+/// ```
+/// use um_net::ExternalNetwork;
+/// use um_sim::{Cycles, Frequency};
+///
+/// let f = Frequency::ghz(2.0);
+/// let mut net = ExternalNetwork::paper_default(10, f);
+/// let arrive = net.send(0, 1, 1024, Cycles::ZERO);
+/// assert!(arrive >= Cycles::new(1000)); // >= one-way 0.5us at 2 GHz
+/// ```
+#[derive(Clone, Debug)]
+pub struct ExternalNetwork {
+    servers: usize,
+    /// One-way propagation latency.
+    one_way: Cycles,
+    /// NIC egress bandwidth in bytes per cycle.
+    bytes_per_cycle: f64,
+    /// Per-server NIC egress availability.
+    nic_free_at: Vec<Cycles>,
+    messages: u64,
+    queue_cycles: u64,
+}
+
+impl ExternalNetwork {
+    /// Table 2 parameters: 1 us RTT (0.5 us one way) and 200 GB/s per NIC,
+    /// expressed in cycles at the package frequency `freq`.
+    pub fn paper_default(servers: usize, freq: Frequency) -> Self {
+        // 200 GB/s at f GHz = 200 / f bytes per cycle.
+        Self::new(
+            servers,
+            Cycles::from_micros(0.5, freq),
+            200.0 / freq.as_ghz(),
+        )
+    }
+
+    /// Creates an external network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers` is zero or bandwidth is non-positive.
+    pub fn new(servers: usize, one_way: Cycles, bytes_per_cycle: f64) -> Self {
+        assert!(servers > 0, "need at least one server");
+        assert!(bytes_per_cycle > 0.0, "bandwidth must be positive");
+        Self {
+            servers,
+            one_way,
+            bytes_per_cycle,
+            nic_free_at: vec![Cycles::ZERO; servers],
+            messages: 0,
+            queue_cycles: 0,
+        }
+    }
+
+    /// Number of servers.
+    pub fn servers(&self) -> usize {
+        self.servers
+    }
+
+    /// Sends `bytes` from `src` server to `dst` server departing at
+    /// `depart`; returns the arrival time.
+    ///
+    /// A same-server send costs nothing extra here (it never leaves the
+    /// package; the on-package network models that path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `dst` is out of range.
+    pub fn send(&mut self, src: usize, dst: usize, bytes: u64, depart: Cycles) -> Cycles {
+        assert!(src < self.servers && dst < self.servers, "server out of range");
+        if src == dst {
+            return depart;
+        }
+        self.messages += 1;
+        let ser = Cycles::new(((bytes as f64 / self.bytes_per_cycle).ceil() as u64).max(1));
+        let start = depart.max(self.nic_free_at[src]);
+        self.queue_cycles += (start - depart).raw();
+        self.nic_free_at[src] = start + ser;
+        start + ser + self.one_way
+    }
+
+    /// Uncontended one-way latency for `bytes`.
+    pub fn ideal_latency(&self, bytes: u64) -> Cycles {
+        let ser = Cycles::new(((bytes as f64 / self.bytes_per_cycle).ceil() as u64).max(1));
+        ser + self.one_way
+    }
+
+    /// Messages sent so far.
+    pub fn message_count(&self) -> u64 {
+        self.messages
+    }
+
+    /// Total NIC queueing delay accumulated, in cycles.
+    pub fn queue_cycles(&self) -> u64 {
+        self.queue_cycles
+    }
+
+    /// Clears NIC occupancy and statistics.
+    pub fn reset(&mut self) {
+        self.nic_free_at.fill(Cycles::ZERO);
+        self.messages = 0;
+        self.queue_cycles = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn freq() -> Frequency {
+        Frequency::ghz(2.0)
+    }
+
+    #[test]
+    fn base_latency_is_half_rtt_plus_serialization() {
+        let mut n = ExternalNetwork::paper_default(2, freq());
+        let arr = n.send(0, 1, 100, Cycles::ZERO);
+        // 0.5us at 2GHz = 1000 cycles; 100B at 100 B/cycle = 1 cycle.
+        assert_eq!(arr, Cycles::new(1001));
+    }
+
+    #[test]
+    fn same_server_is_free() {
+        let mut n = ExternalNetwork::paper_default(4, freq());
+        assert_eq!(n.send(2, 2, 1_000_000, Cycles::new(5)), Cycles::new(5));
+        assert_eq!(n.message_count(), 0);
+    }
+
+    #[test]
+    fn nic_serializes_egress() {
+        let mut n = ExternalNetwork::new(2, Cycles::new(100), 1.0);
+        let a = n.send(0, 1, 50, Cycles::ZERO);
+        let b = n.send(0, 1, 50, Cycles::ZERO);
+        assert_eq!(a, Cycles::new(150));
+        assert_eq!(b, Cycles::new(200)); // queued 50 behind the first
+        assert_eq!(n.queue_cycles(), 50);
+    }
+
+    #[test]
+    fn different_sources_do_not_contend() {
+        let mut n = ExternalNetwork::new(3, Cycles::new(100), 1.0);
+        let a = n.send(0, 2, 50, Cycles::ZERO);
+        let b = n.send(1, 2, 50, Cycles::ZERO);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ideal_matches_idle_send() {
+        let mut n = ExternalNetwork::paper_default(2, freq());
+        assert_eq!(n.ideal_latency(4096), n.send(0, 1, 4096, Cycles::ZERO));
+    }
+
+    #[test]
+    fn reset_restores_fresh_state() {
+        let mut n = ExternalNetwork::new(2, Cycles::new(10), 1.0);
+        n.send(0, 1, 1000, Cycles::ZERO);
+        n.reset();
+        assert_eq!(n.message_count(), 0);
+        assert_eq!(n.send(0, 1, 10, Cycles::ZERO), Cycles::new(20));
+    }
+
+    #[test]
+    #[should_panic(expected = "server out of range")]
+    fn out_of_range_server() {
+        let mut n = ExternalNetwork::new(2, Cycles::new(10), 1.0);
+        n.send(0, 5, 10, Cycles::ZERO);
+    }
+}

@@ -1,0 +1,229 @@
+//! 2D mesh topology with dimension-ordered (XY) routing.
+//!
+//! The ServerClass baseline's on-chip network (Table 2), and one of the two
+//! ICNs whose contention Figure 7 quantifies on the ScaleOut manycore.
+
+use crate::topology::{LinkId, Topology};
+use std::collections::HashMap;
+
+/// A 2D mesh of endpoint routers with XY (X first, then Y) routing.
+///
+/// Every grid cell is both a router and an endpoint. Each physical channel
+/// is two directed links.
+///
+/// # Examples
+///
+/// ```
+/// use um_net::{Mesh2D, Topology};
+///
+/// let mesh = Mesh2D::new(8, 4); // 32 clusters as in the paper
+/// assert_eq!(mesh.endpoints(), 32);
+/// assert_eq!(mesh.diameter(), 7 + 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Mesh2D {
+    cols: usize,
+    rows: usize,
+    /// (from, to) -> link id
+    link_ids: HashMap<(usize, usize), LinkId>,
+    num_links: usize,
+}
+
+impl Mesh2D {
+    /// Creates a `cols x rows` mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(cols: usize, rows: usize) -> Self {
+        assert!(cols > 0 && rows > 0, "mesh dimensions must be nonzero");
+        let mut link_ids = HashMap::new();
+        let mut next = 0;
+        let id = |c: usize, r: usize| r * cols + c;
+        for r in 0..rows {
+            for c in 0..cols {
+                let here = id(c, r);
+                if c + 1 < cols {
+                    link_ids.insert((here, id(c + 1, r)), next);
+                    next += 1;
+                    link_ids.insert((id(c + 1, r), here), next);
+                    next += 1;
+                }
+                if r + 1 < rows {
+                    link_ids.insert((here, id(c, r + 1)), next);
+                    next += 1;
+                    link_ids.insert((id(c, r + 1), here), next);
+                    next += 1;
+                }
+            }
+        }
+        Self {
+            cols,
+            rows,
+            link_ids,
+            num_links: next,
+        }
+    }
+
+    /// Creates a near-square mesh for `endpoints` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `endpoints` has no factorization (it always does) or is 0.
+    pub fn near_square(endpoints: usize) -> Self {
+        assert!(endpoints > 0, "need at least one endpoint");
+        let mut best = (1, endpoints);
+        let mut c = 1;
+        while c * c <= endpoints {
+            if endpoints.is_multiple_of(c) {
+                best = (endpoints / c, c);
+            }
+            c += 1;
+        }
+        Self::new(best.0, best.1)
+    }
+
+    /// Grid dimensions `(cols, rows)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.cols, self.rows)
+    }
+
+    fn coords(&self, node: usize) -> (usize, usize) {
+        (node % self.cols, node / self.cols)
+    }
+
+    fn link(&self, from: usize, to: usize) -> LinkId {
+        *self
+            .link_ids
+            .get(&(from, to))
+            .unwrap_or_else(|| panic!("no mesh link {from}->{to}"))
+    }
+}
+
+impl Topology for Mesh2D {
+    fn endpoints(&self) -> usize {
+        self.cols * self.rows
+    }
+
+    fn num_links(&self) -> usize {
+        self.num_links
+    }
+
+    fn route(
+        &self,
+        src: usize,
+        dst: usize,
+        _choose: &mut dyn FnMut(&[LinkId]) -> usize,
+    ) -> Vec<LinkId> {
+        assert!(src < self.endpoints() && dst < self.endpoints(), "node out of range");
+        let (mut c, mut r) = self.coords(src);
+        let (dc, dr) = self.coords(dst);
+        let mut route = Vec::new();
+        let id = |c: usize, r: usize| r * self.cols + c;
+        while c != dc {
+            let next_c = if dc > c { c + 1 } else { c - 1 };
+            route.push(self.link(id(c, r), id(next_c, r)));
+            c = next_c;
+        }
+        while r != dr {
+            let next_r = if dr > r { r + 1 } else { r - 1 };
+            route.push(self.link(id(c, r), id(c, next_r)));
+            r = next_r;
+        }
+        route
+    }
+
+    fn name(&self) -> &'static str {
+        "2d-mesh"
+    }
+
+    fn diameter(&self) -> usize {
+        (self.cols - 1) + (self.rows - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{first_choice, testutil::check_routing_invariants};
+
+    #[test]
+    fn invariants_8x4() {
+        check_routing_invariants(&Mesh2D::new(8, 4));
+    }
+
+    #[test]
+    fn route_length_is_manhattan_distance() {
+        let m = Mesh2D::new(4, 4);
+        // (0,0) -> (3,2): 3 + 2 hops.
+        let route = m.route(0, 2 * 4 + 3, &mut first_choice);
+        assert_eq!(route.len(), 5);
+    }
+
+    #[test]
+    fn xy_routing_is_deterministic() {
+        let m = Mesh2D::new(4, 4);
+        let a = m.route(1, 14, &mut first_choice);
+        let b = m.route(1, 14, &mut first_choice);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn opposing_directions_use_distinct_links() {
+        let m = Mesh2D::new(2, 1);
+        let fwd = m.route(0, 1, &mut first_choice);
+        let rev = m.route(1, 0, &mut first_choice);
+        assert_ne!(fwd, rev);
+    }
+
+    #[test]
+    fn near_square_factorizations() {
+        assert_eq!(Mesh2D::near_square(32).dims(), (8, 4));
+        assert_eq!(Mesh2D::near_square(16).dims(), (4, 4));
+        assert_eq!(Mesh2D::near_square(7).dims(), (7, 1));
+        assert_eq!(Mesh2D::near_square(1).dims(), (1, 1));
+    }
+
+    #[test]
+    fn link_count_matches_formula() {
+        let m = Mesh2D::new(8, 4);
+        // Directed links: 2 * (cols-1)*rows + 2 * cols*(rows-1).
+        assert_eq!(m.num_links(), 2 * 7 * 4 + 2 * 8 * 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_node_panics() {
+        let m = Mesh2D::new(2, 2);
+        m.route(0, 99, &mut first_choice);
+    }
+
+    #[test]
+    fn single_node_mesh() {
+        let m = Mesh2D::new(1, 1);
+        assert!(m.route(0, 0, &mut first_choice).is_empty());
+        assert_eq!(m.num_links(), 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::topology::first_choice;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// A route from src to dst traverses exactly the Manhattan distance.
+        #[test]
+        fn manhattan(cols in 1usize..9, rows in 1usize..9, a in 0usize..64, b in 0usize..64) {
+            let m = Mesh2D::new(cols, rows);
+            let n = m.endpoints();
+            let (src, dst) = (a % n, b % n);
+            let route = m.route(src, dst, &mut first_choice);
+            let (sc, sr) = (src % cols, src / cols);
+            let (dc, dr) = (dst % cols, dst / cols);
+            let manhattan = sc.abs_diff(dc) + sr.abs_diff(dr);
+            prop_assert_eq!(route.len(), manhattan);
+        }
+    }
+}

@@ -1,0 +1,364 @@
+//! Contention-aware message transport over a topology.
+//!
+//! The on-package network is lossless with back-pressure (§4.1): a message
+//! waits for each link to free rather than being dropped, so contention
+//! appears purely as queueing delay. `Network` models each directed link as
+//! a resource that serializes messages (`bytes / width` cycles of occupancy)
+//! and charges the paper's 5-cycle per-hop router+wire latency (Table 2).
+
+use crate::topology::{LinkId, Topology};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use um_sim::{rng, Cycles};
+
+/// How redundant paths are chosen at ECMP branch points.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RouteStrategy {
+    /// Always take the first alternative (degenerates the leaf-spine to a
+    /// single-path tree; useful as an ablation).
+    Deterministic,
+    /// Uniform random choice — classic ECMP hashing.
+    RandomEcmp,
+    /// Pick the candidate whose first link frees earliest — an idealized
+    /// adaptive router. This is the uManycore default.
+    #[default]
+    LeastLoaded,
+}
+
+/// Timing parameters of a [`Network`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NetworkConfig {
+    /// Per-hop latency: Table 2 gives 5 cycles (4 router + 1 wire).
+    pub hop_latency: Cycles,
+    /// Bytes a base-width link moves per cycle.
+    pub bytes_per_cycle: f64,
+    /// Whether links serialize messages; `false` gives the contention-free
+    /// network used as Figure 7's normalization baseline.
+    pub contention: bool,
+    /// Path-selection strategy at ECMP branch points.
+    pub strategy: RouteStrategy,
+    /// Seed for the strategy's random stream.
+    pub seed: u64,
+}
+
+impl NetworkConfig {
+    /// The paper's on-package network: 5 cycles/hop (4 router + 1 wire,
+    /// Table 2), 8 B/cycle links (chiplet-to-chiplet SERDES-class
+    /// bandwidth — the clusters, pools and hubs are separate chiplets),
+    /// contention on, least-loaded adaptive routing.
+    pub fn on_package() -> Self {
+        Self {
+            hop_latency: Cycles::new(5),
+            bytes_per_cycle: 8.0,
+            contention: true,
+            strategy: RouteStrategy::LeastLoaded,
+            seed: 0x1c4,
+        }
+    }
+
+    /// Same timing with contention modelling disabled.
+    pub fn contention_free() -> Self {
+        Self {
+            contention: false,
+            ..Self::on_package()
+        }
+    }
+}
+
+/// Aggregate transport statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetworkStats {
+    /// Messages delivered.
+    pub messages: u64,
+    /// Total cycles spent queueing for busy links (contention delay).
+    pub queue_cycles: u64,
+    /// Largest single-message queueing delay seen.
+    pub max_queue_cycles: u64,
+    /// Total hops traversed.
+    pub hops: u64,
+}
+
+impl NetworkStats {
+    /// Mean queueing delay per message, in cycles.
+    pub fn mean_queue(&self) -> f64 {
+        if self.messages == 0 {
+            0.0
+        } else {
+            self.queue_cycles as f64 / self.messages as f64
+        }
+    }
+}
+
+/// A topology plus per-link occupancy state: the deliverable-message ICN.
+///
+/// # Examples
+///
+/// ```
+/// use um_net::{Mesh2D, Network, NetworkConfig};
+/// use um_sim::Cycles;
+///
+/// let mut net = Network::new(Mesh2D::new(4, 4), NetworkConfig::on_package());
+/// let t1 = net.send(0, 15, 64, Cycles::ZERO);
+/// let t2 = net.send(0, 15, 64, Cycles::ZERO); // same path: queues behind t1
+/// assert!(t2 > t1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Network<T> {
+    topo: T,
+    config: NetworkConfig,
+    busy_until: Vec<Cycles>,
+    rng: SmallRng,
+    stats: NetworkStats,
+}
+
+impl<T: Topology> Network<T> {
+    /// Wraps `topo` with timing/contention state.
+    pub fn new(topo: T, config: NetworkConfig) -> Self {
+        let links = topo.num_links();
+        Self {
+            topo,
+            config,
+            busy_until: vec![Cycles::ZERO; links],
+            rng: rng::stream(config.seed, "network-ecmp"),
+            stats: NetworkStats::default(),
+        }
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &T {
+        &self.topo
+    }
+
+    /// The timing configuration.
+    pub fn config(&self) -> NetworkConfig {
+        self.config
+    }
+
+    /// Transport statistics so far.
+    pub fn stats(&self) -> NetworkStats {
+        self.stats
+    }
+
+    /// Clears link occupancy and statistics.
+    pub fn reset(&mut self) {
+        self.busy_until.fill(Cycles::ZERO);
+        self.stats = NetworkStats::default();
+    }
+
+    /// Sends `bytes` from endpoint `src` to endpoint `dst`, departing at
+    /// `depart`; returns the arrival time at `dst`.
+    ///
+    /// A self-send (`src == dst`) is delivered after one hop latency,
+    /// modelling the local hub traversal.
+    pub fn send(&mut self, src: usize, dst: usize, bytes: u64, depart: Cycles) -> Cycles {
+        self.send_traced(src, dst, bytes, depart).0
+    }
+
+    /// Like [`Self::send`], but also returns the total queueing (link
+    /// contention) delay the message experienced — the part of its latency
+    /// beyond an uncontended traversal.
+    pub fn send_traced(
+        &mut self,
+        src: usize,
+        dst: usize,
+        bytes: u64,
+        depart: Cycles,
+    ) -> (Cycles, Cycles) {
+        let route = self.build_route(src, dst, depart);
+        self.stats.messages += 1;
+        if route.is_empty() {
+            return (depart + self.config.hop_latency, Cycles::ZERO);
+        }
+        let mut t = depart;
+        let mut queued = Cycles::ZERO;
+        for &link in &route {
+            let ser = self.serialization(bytes, link);
+            if self.config.contention {
+                let free = self.busy_until[link];
+                let start = t.max(free);
+                queued += start - t;
+                self.busy_until[link] = start + ser;
+                t = start + ser + self.config.hop_latency;
+            } else {
+                t = t + ser + self.config.hop_latency;
+            }
+        }
+        self.stats.queue_cycles += queued.raw();
+        self.stats.max_queue_cycles = self.stats.max_queue_cycles.max(queued.raw());
+        self.stats.hops += route.len() as u64;
+        (t, queued)
+    }
+
+    /// Latency of an uncontended transfer (for QoS baselines): same path
+    /// length, no queueing, no link-state mutation.
+    pub fn ideal_latency(&self, src: usize, dst: usize, bytes: u64) -> Cycles {
+        let mut first = crate::topology::first_choice;
+        let route = self.topo.route(src, dst, &mut first);
+        if route.is_empty() {
+            return self.config.hop_latency;
+        }
+        let mut t = Cycles::ZERO;
+        for &link in &route {
+            t = t + self.serialization(bytes, link) + self.config.hop_latency;
+        }
+        t
+    }
+
+    fn serialization(&self, bytes: u64, link: LinkId) -> Cycles {
+        let width = self.topo.link_width(link).max(f64::EPSILON);
+        Cycles::new(
+            ((bytes as f64 / (self.config.bytes_per_cycle * width)).ceil() as u64).max(1),
+        )
+    }
+
+    fn build_route(&mut self, src: usize, dst: usize, now: Cycles) -> Vec<LinkId> {
+        let strategy = self.config.strategy;
+        // Split borrows: chooser needs rng and busy_until, route needs topo.
+        let busy = &self.busy_until;
+        let rng = &mut self.rng;
+        let mut choose = |candidates: &[LinkId]| -> usize {
+            match strategy {
+                RouteStrategy::Deterministic => 0,
+                RouteStrategy::RandomEcmp => rng.gen_range(0..candidates.len()),
+                RouteStrategy::LeastLoaded => candidates
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, &l)| busy[l].max(now))
+                    .map(|(i, _)| i)
+                    .expect("candidates nonempty"),
+            }
+        };
+        self.topo.route(src, dst, &mut choose)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FatTree, LeafSpine, Mesh2D};
+
+    #[test]
+    fn uncontended_latency_is_hops_times_cost() {
+        let mut net = Network::new(Mesh2D::new(4, 1), NetworkConfig::on_package());
+        // 3 hops, 64B at 8B/cycle = 8 cycles serialization per hop + 5 hop.
+        let arrive = net.send(0, 3, 64, Cycles::ZERO);
+        assert_eq!(arrive, Cycles::new(3 * (8 + 5)));
+    }
+
+    #[test]
+    fn contention_free_mode_ignores_occupancy() {
+        let mut net = Network::new(Mesh2D::new(4, 1), NetworkConfig::contention_free());
+        let a = net.send(0, 3, 4096, Cycles::ZERO);
+        let b = net.send(0, 3, 4096, Cycles::ZERO);
+        assert_eq!(a, b);
+        assert_eq!(net.stats().queue_cycles, 0);
+    }
+
+    #[test]
+    fn queueing_accumulates_on_shared_path() {
+        let mut net = Network::new(Mesh2D::new(2, 1), NetworkConfig::on_package());
+        let mut last = Cycles::ZERO;
+        for _ in 0..10 {
+            let arr = net.send(0, 1, 1024, Cycles::ZERO);
+            assert!(arr > last);
+            last = arr;
+        }
+        assert!(net.stats().queue_cycles > 0);
+        assert!(net.stats().mean_queue() > 0.0);
+    }
+
+    #[test]
+    fn leaf_spine_redundancy_beats_fat_tree_under_burst() {
+        // The Figure 7/15 mechanism in miniature: simultaneous messages
+        // between the same endpoint pair spread over the leaf-spine's
+        // disjoint paths but serialize through the fat tree's root.
+        let cfg = NetworkConfig::on_package();
+        let mut ls = Network::new(LeafSpine::paper_default(), cfg);
+        let mut ft = Network::new(FatTree::new(32), cfg);
+        let mut ls_last = Cycles::ZERO;
+        let mut ft_last = Cycles::ZERO;
+        for _ in 0..16 {
+            ls_last = ls_last.max(ls.send(0, 31, 1024, Cycles::ZERO));
+            ft_last = ft_last.max(ft.send(0, 31, 1024, Cycles::ZERO));
+        }
+        assert!(
+            ls_last < ft_last,
+            "leaf-spine {ls_last} should beat fat tree {ft_last}"
+        );
+    }
+
+    #[test]
+    fn least_loaded_beats_deterministic_on_leaf_spine() {
+        let mut adaptive = Network::new(LeafSpine::paper_default(), NetworkConfig::on_package());
+        let det_cfg = NetworkConfig {
+            strategy: RouteStrategy::Deterministic,
+            ..NetworkConfig::on_package()
+        };
+        let mut det = Network::new(LeafSpine::paper_default(), det_cfg);
+        let mut a_last = Cycles::ZERO;
+        let mut d_last = Cycles::ZERO;
+        for _ in 0..16 {
+            a_last = a_last.max(adaptive.send(0, 31, 1024, Cycles::ZERO));
+            d_last = d_last.max(det.send(0, 31, 1024, Cycles::ZERO));
+        }
+        assert!(a_last < d_last, "adaptive {a_last} vs deterministic {d_last}");
+    }
+
+    #[test]
+    fn self_send_costs_one_hop() {
+        let mut net = Network::new(Mesh2D::new(2, 2), NetworkConfig::on_package());
+        let arr = net.send(1, 1, 64, Cycles::new(100));
+        assert_eq!(arr, Cycles::new(100) + net.config().hop_latency);
+    }
+
+    #[test]
+    fn ideal_latency_matches_first_uncontended_send() {
+        let mut net = Network::new(LeafSpine::paper_default(), NetworkConfig::on_package());
+        let ideal = net.ideal_latency(0, 31, 256);
+        // With no prior traffic, least-loaded picks links with equal (zero)
+        // load, so the realized path has the same shape.
+        let real = net.send(0, 31, 256, Cycles::ZERO);
+        assert_eq!(real, ideal);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut net = Network::new(Mesh2D::new(2, 1), NetworkConfig::on_package());
+        net.send(0, 1, 4096, Cycles::ZERO);
+        net.reset();
+        assert_eq!(net.stats(), NetworkStats::default());
+        let a = net.send(0, 1, 4096, Cycles::ZERO);
+        let mut fresh = Network::new(Mesh2D::new(2, 1), NetworkConfig::on_package());
+        assert_eq!(a, fresh.send(0, 1, 4096, Cycles::ZERO));
+    }
+
+    #[test]
+    fn random_ecmp_is_deterministic_per_seed() {
+        let cfg = NetworkConfig {
+            strategy: RouteStrategy::RandomEcmp,
+            ..NetworkConfig::on_package()
+        };
+        let run = |seed: u64| {
+            let mut net = Network::new(
+                LeafSpine::paper_default(),
+                NetworkConfig { seed, ..cfg },
+            );
+            (0..20)
+                .map(|i| net.send(0, 31, 512, Cycles::new(i * 3)).raw())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn wider_links_serialize_faster() {
+        let mut net = Network::new(FatTree::new(32), NetworkConfig::on_package());
+        // Root links are 4x wide: a large message's serialization at the
+        // root is a quarter of a leaf link's.
+        let arrive = net.send(0, 31, 4096, Cycles::ZERO);
+        // Leaf-width serialization on all 10 hops would cost
+        // 10 x (512 + 5); widened inner links must beat that.
+        assert!(arrive < Cycles::new(10 * 517));
+    }
+}

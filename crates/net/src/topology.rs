@@ -1,0 +1,91 @@
+//! The topology abstraction shared by all ICNs.
+
+/// Index of a directed link in a topology's link table.
+pub type LinkId = usize;
+
+/// A static interconnect topology over a set of endpoint nodes.
+///
+/// Endpoints are the entities that inject and receive traffic — in this
+/// reproduction, one endpoint per cluster (the cluster's network hub acts
+/// as the attachment point). Links are *directed*: each physical cable
+/// contributes one link per direction, so opposing flows never contend.
+///
+/// `route` builds one source-to-destination path. Where the topology has
+/// redundant paths (the leaf-spine's multiple spines), the `choose`
+/// callback picks among candidates; it receives the candidate *first links*
+/// of each alternative so the caller can implement random or least-loaded
+/// (adaptive) selection.
+pub trait Topology {
+    /// Number of endpoint nodes.
+    fn endpoints(&self) -> usize;
+
+    /// Total number of directed links.
+    fn num_links(&self) -> usize;
+
+    /// Builds a route from `src` to `dst` as a sequence of directed links.
+    ///
+    /// An empty route is returned when `src == dst` (local delivery).
+    /// `choose` is called at every branch point with the candidate link ids
+    /// for the next step and must return an index into that slice.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `src` or `dst` is out of range, or if
+    /// `choose` returns an out-of-range index.
+    fn route(
+        &self,
+        src: usize,
+        dst: usize,
+        choose: &mut dyn FnMut(&[LinkId]) -> usize,
+    ) -> Vec<LinkId>;
+
+    /// Relative bandwidth of a link (1.0 = base link width). Fat trees
+    /// widen links towards the root.
+    fn link_width(&self, _link: LinkId) -> f64 {
+        1.0
+    }
+
+    /// Human-readable topology name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Worst-case hop count between any two endpoints.
+    fn diameter(&self) -> usize;
+}
+
+/// Routes through `choose` that always picks the first candidate; useful
+/// for tests and for deterministic baselines.
+pub fn first_choice(candidates: &[LinkId]) -> usize {
+    debug_assert!(!candidates.is_empty());
+    0
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+
+    /// Exhaustively checks routing invariants for a topology:
+    /// self-routes are empty, all links are in range, route length is
+    /// bounded by the diameter.
+    pub fn check_routing_invariants<T: Topology>(topo: &T) {
+        let n = topo.endpoints();
+        for src in 0..n {
+            for dst in 0..n {
+                let route = topo.route(src, dst, &mut first_choice);
+                if src == dst {
+                    assert!(route.is_empty(), "self route {src} not empty");
+                    continue;
+                }
+                assert!(!route.is_empty(), "no route {src}->{dst}");
+                assert!(
+                    route.len() <= topo.diameter(),
+                    "route {src}->{dst} has {} hops > diameter {}",
+                    route.len(),
+                    topo.diameter()
+                );
+                for &l in &route {
+                    assert!(l < topo.num_links(), "link {l} out of range");
+                }
+            }
+        }
+    }
+}

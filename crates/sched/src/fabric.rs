@@ -1,0 +1,325 @@
+//! The queue fabric of §3.2: N FCFS queues over C cores (Figure 3).
+//!
+//! The paper sweeps the number of queues in a 1024-core manycore from one
+//! queue per core (1024) down to a single shared queue, with and without
+//! work stealing, and finds a sweet spot at one queue per 32-core cluster.
+//! `QueueFabric` reproduces that design space.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::collections::VecDeque;
+use um_sim::rng;
+
+/// Configuration of a [`QueueFabric`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FabricConfig {
+    /// Number of cores consuming from the fabric.
+    pub cores: usize,
+    /// Number of FCFS queues; cores are striped across queues.
+    pub queues: usize,
+    /// Whether an idle core may steal from other queues.
+    pub work_stealing: bool,
+    /// Seed for the random queue assignment of incoming requests.
+    pub seed: u64,
+}
+
+impl FabricConfig {
+    /// Creates a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= queues <= cores`.
+    pub fn new(cores: usize, queues: usize, work_stealing: bool, seed: u64) -> Self {
+        assert!(cores >= 1, "need at least one core");
+        assert!(
+            (1..=cores).contains(&queues),
+            "queues must be in 1..={cores}, got {queues}"
+        );
+        Self {
+            cores,
+            queues,
+            work_stealing,
+            seed,
+        }
+    }
+}
+
+/// N FCFS queues shared by C cores, with optional work stealing.
+///
+/// Requests are assigned to queues uniformly at random (as in the paper's
+/// experiment); core `c` is served by queue `c % queues`. With work
+/// stealing enabled, a core whose queue is empty scans the other queues in
+/// a deterministic rotation and steals the head of the first non-empty one.
+///
+/// # Examples
+///
+/// ```
+/// use um_sched::{FabricConfig, QueueFabric};
+///
+/// let mut f: QueueFabric<u32> = QueueFabric::new(FabricConfig::new(4, 2, true, 7));
+/// f.enqueue(10);
+/// // Some core can always find the work (stealing covers empty queues).
+/// let got = (0..4).find_map(|c| f.dequeue(c));
+/// assert_eq!(got, Some(10));
+/// ```
+#[derive(Clone, Debug)]
+pub struct QueueFabric<T> {
+    config: FabricConfig,
+    queues: Vec<VecDeque<T>>,
+    rng: SmallRng,
+    enqueued: u64,
+    dequeued: u64,
+    steals: u64,
+}
+
+impl<T> QueueFabric<T> {
+    /// Creates an empty fabric.
+    pub fn new(config: FabricConfig) -> Self {
+        Self {
+            config,
+            queues: (0..config.queues).map(|_| VecDeque::new()).collect(),
+            rng: rng::stream(config.seed, "queue-fabric"),
+            enqueued: 0,
+            dequeued: 0,
+            steals: 0,
+        }
+    }
+
+    /// The fabric configuration.
+    pub fn config(&self) -> FabricConfig {
+        self.config
+    }
+
+    /// The queue a core drains by default.
+    pub fn home_queue(&self, core: usize) -> usize {
+        core % self.config.queues
+    }
+
+    /// Enqueues a request on a uniformly random queue (the paper's
+    /// assignment policy) and returns the chosen queue.
+    pub fn enqueue(&mut self, item: T) -> usize {
+        let q = self.rng.gen_range(0..self.config.queues);
+        self.enqueue_at(q, item);
+        q
+    }
+
+    /// Enqueues a request on a specific queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queue` is out of range.
+    pub fn enqueue_at(&mut self, queue: usize, item: T) {
+        assert!(queue < self.config.queues, "queue {queue} out of range");
+        self.queues[queue].push_back(item);
+        self.enqueued += 1;
+    }
+
+    /// Core `core` takes the next request: the head of its home queue, or —
+    /// with work stealing — the head of the first non-empty queue in a
+    /// rotation starting after its home queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn dequeue(&mut self, core: usize) -> Option<T> {
+        assert!(core < self.config.cores, "core {core} out of range");
+        let home = self.home_queue(core);
+        if let Some(item) = self.queues[home].pop_front() {
+            self.dequeued += 1;
+            return Some(item);
+        }
+        if !self.config.work_stealing {
+            return None;
+        }
+        let n = self.config.queues;
+        for off in 1..n {
+            let q = (home + off) % n;
+            if let Some(item) = self.queues[q].pop_front() {
+                self.dequeued += 1;
+                self.steals += 1;
+                return Some(item);
+            }
+        }
+        None
+    }
+
+    /// Total requests currently waiting across all queues.
+    pub fn pending(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+
+    /// Length of one queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queue` is out of range.
+    pub fn queue_len(&self, queue: usize) -> usize {
+        self.queues[queue].len()
+    }
+
+    /// Whether any work is waiting that `core` could obtain right now.
+    pub fn work_available(&self, core: usize) -> bool {
+        if !self.queues[self.home_queue(core)].is_empty() {
+            return true;
+        }
+        self.config.work_stealing && self.pending() > 0
+    }
+
+    /// Number of successful steals so far.
+    pub fn steal_count(&self) -> u64 {
+        self.steals
+    }
+
+    /// Total enqueued.
+    pub fn enqueue_count(&self) -> u64 {
+        self.enqueued
+    }
+
+    /// Total dequeued.
+    pub fn dequeue_count(&self) -> u64 {
+        self.dequeued
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fcfs_within_queue() {
+        let mut f: QueueFabric<u32> = QueueFabric::new(FabricConfig::new(2, 1, false, 1));
+        f.enqueue_at(0, 1);
+        f.enqueue_at(0, 2);
+        f.enqueue_at(0, 3);
+        assert_eq!(f.dequeue(0), Some(1));
+        assert_eq!(f.dequeue(1), Some(2)); // both cores share queue 0
+        assert_eq!(f.dequeue(0), Some(3));
+        assert_eq!(f.dequeue(0), None);
+    }
+
+    #[test]
+    fn no_stealing_leaves_imbalance() {
+        let mut f: QueueFabric<u32> = QueueFabric::new(FabricConfig::new(2, 2, false, 1));
+        f.enqueue_at(0, 1);
+        // Core 1's home is queue 1: it cannot see the work.
+        assert_eq!(f.dequeue(1), None);
+        assert!(f.work_available(0));
+        assert!(!f.work_available(1));
+    }
+
+    #[test]
+    fn stealing_fixes_imbalance() {
+        let mut f: QueueFabric<u32> = QueueFabric::new(FabricConfig::new(2, 2, true, 1));
+        f.enqueue_at(0, 1);
+        assert_eq!(f.dequeue(1), Some(1));
+        assert_eq!(f.steal_count(), 1);
+    }
+
+    #[test]
+    fn random_assignment_spreads_load() {
+        let mut f: QueueFabric<u64> = QueueFabric::new(FabricConfig::new(64, 8, false, 3));
+        for i in 0..8_000 {
+            f.enqueue(i);
+        }
+        for q in 0..8 {
+            let len = f.queue_len(q);
+            assert!((800..1200).contains(&len), "queue {q} got {len}");
+        }
+    }
+
+    #[test]
+    fn conservation() {
+        let mut f: QueueFabric<u64> = QueueFabric::new(FabricConfig::new(16, 4, true, 9));
+        for i in 0..100 {
+            f.enqueue(i);
+        }
+        let mut got = Vec::new();
+        'outer: loop {
+            for c in 0..16 {
+                if let Some(x) = f.dequeue(c) {
+                    got.push(x);
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+        got.sort_unstable();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+        assert_eq!(f.enqueue_count(), 100);
+        assert_eq!(f.dequeue_count(), 100);
+        assert_eq!(f.pending(), 0);
+    }
+
+    #[test]
+    fn home_queue_striping() {
+        let f: QueueFabric<u32> = QueueFabric::new(FabricConfig::new(8, 4, false, 1));
+        assert_eq!(f.home_queue(0), 0);
+        assert_eq!(f.home_queue(5), 1);
+        assert_eq!(f.home_queue(7), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "queues must be in")]
+    fn more_queues_than_cores_rejected() {
+        FabricConfig::new(4, 8, false, 1);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut f: QueueFabric<u64> =
+                QueueFabric::new(FabricConfig::new(8, 4, false, seed));
+            (0..50).map(|i| f.enqueue(i)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Work stealing never loses or duplicates requests.
+        #[test]
+        fn stealing_conserves(
+            cores in 1usize..32,
+            qfrac in 1usize..32,
+            items in 0usize..200,
+            steal in proptest::bool::ANY,
+        ) {
+            let queues = qfrac.min(cores);
+            let mut f: QueueFabric<usize> =
+                QueueFabric::new(FabricConfig::new(cores, queues, steal, 11));
+            for i in 0..items {
+                f.enqueue(i);
+            }
+            let mut got = Vec::new();
+            loop {
+                let before = got.len();
+                for c in 0..cores {
+                    if let Some(x) = f.dequeue(c) {
+                        got.push(x);
+                    }
+                }
+                if got.len() == before {
+                    break;
+                }
+            }
+            got.sort_unstable();
+            if steal {
+                // Stealing drains everything.
+                prop_assert_eq!(got, (0..items).collect::<Vec<_>>());
+            } else {
+                // Without stealing everything is still conserved...
+                prop_assert_eq!(got.len() + f.pending(), items);
+                // ...and queues with a serving core are drained.
+                for q in 0..queues {
+                    prop_assert_eq!(f.queue_len(q), 0);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Request scheduling and context-switching substrates (paper §3.2, §3.3,
+//! §4.3, §4.4).
+//!
+//! uManycore's thesis is that queuing, scheduling and context switching
+//! dominate microservice tail latency on conventional hardware, and that
+//! moving them into hardware removes the overhead. This crate provides both
+//! sides of that comparison:
+//!
+//! - [`QueueFabric`]: the §3.2 experiment fabric — any number of FCFS
+//!   queues over a set of cores, optional work stealing (Figure 3).
+//! - [`RequestQueue`]: the hardware Request Queue of §4.3 — a circular
+//!   buffer with per-entry status, service id and a Request Context Memory
+//!   slot, operated by `Enqueue`/`Dequeue`/`Complete`/`ContextSwitch`
+//!   semantics.
+//! - [`PartitionedRq`]: the §4.3 "more advanced design": an RQ_Map that
+//!   partitions the RQ among co-located services (evaluated here as an
+//!   extension/ablation; the paper describes but does not evaluate it).
+//! - [`CtxSwitchModel`]: per-mechanism context-switch costs — Linux,
+//!   ZygOS/Shinjuku/Shenango-class software schedulers, and the uManycore
+//!   hardware mechanism (Figure 6's x-axis).
+//! - [`Dispatcher`]: the centralized software dispatcher bottleneck that
+//!   §4.4 measures for Shinjuku-style scheduling.
+//! - [`DequeuePolicy`]: FCFS vs SRPT (§4.3 discusses why FCFS suffices).
+//!
+//! # Examples
+//!
+//! ```
+//! use um_sched::{RequestQueue, RqEntryStatus};
+//!
+//! let mut rq: RequestQueue<&str> = RequestQueue::new(64);
+//! let slot = rq.enqueue(3, "request ctx").unwrap();
+//! assert_eq!(rq.status(slot), Some(RqEntryStatus::Ready));
+//! let (got, ctx) = rq.dequeue(3).unwrap();
+//! assert_eq!(got, slot);
+//! assert_eq!(*ctx, "request ctx");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ctxswitch;
+pub mod fabric;
+pub mod policy;
+pub mod rq;
+
+pub use ctxswitch::{CtxSwitchModel, Dispatcher};
+pub use fabric::{FabricConfig, QueueFabric};
+pub use policy::DequeuePolicy;
+pub use rq::{PartitionedRq, RequestQueue, RqEntryStatus, RqError, RqSlot};

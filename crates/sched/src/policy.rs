@@ -1,0 +1,49 @@
+//! Dequeue ordering policies (paper §4.3).
+//!
+//! The hardware Request Queue serves FCFS. The paper argues SRPT (Shortest
+//! Remaining Processing Time first) is unlikely to improve on FCFS for
+//! microservices — same-service requests have similar durations, and
+//! frequent I/O blocking already interleaves requests — and our ablation
+//! bench (`ablation_srpt`) checks exactly that claim.
+
+/// Order in which ready entries are claimed from a queue.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum DequeuePolicy {
+    /// First come, first served — the uManycore hardware policy.
+    #[default]
+    Fcfs,
+    /// Shortest remaining processing time first.
+    Srpt,
+}
+
+impl DequeuePolicy {
+    /// Display name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            DequeuePolicy::Fcfs => "fcfs",
+            DequeuePolicy::Srpt => "srpt",
+        }
+    }
+}
+
+impl std::fmt::Display for DequeuePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_fcfs() {
+        assert_eq!(DequeuePolicy::default(), DequeuePolicy::Fcfs);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(DequeuePolicy::Fcfs.to_string(), "fcfs");
+        assert_eq!(DequeuePolicy::Srpt.to_string(), "srpt");
+    }
+}

@@ -1,0 +1,821 @@
+//! The hardware Request Queue (paper §4.3, Figure 13) and its RQ_Map
+//! partitioned extension.
+
+use crate::policy::DequeuePolicy;
+use std::collections::HashMap;
+
+/// Status of one Request Queue entry (§4.3: "running, ready to run,
+/// blocked on an RPC, or finished").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RqEntryStatus {
+    /// Waiting for a core.
+    Ready,
+    /// Currently executing on a core.
+    Running,
+    /// Blocked on an outstanding RPC or storage access.
+    Blocked,
+    /// Completed; the slot is reclaimed when it reaches the head.
+    Finished,
+}
+
+/// Errors from Request Queue operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RqError {
+    /// The circular buffer is full; §4.3: the request is then temporarily
+    /// queued in the NIC, and rejected if the NIC also runs out of space.
+    Full,
+    /// A slot handle refers to a reclaimed or never-issued entry.
+    StaleSlot,
+    /// The operation is invalid for the entry's current status.
+    BadTransition {
+        /// Status the entry actually had.
+        found: RqEntryStatus,
+    },
+}
+
+impl std::fmt::Display for RqError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RqError::Full => f.write_str("request queue full"),
+            RqError::StaleSlot => f.write_str("stale request queue slot"),
+            RqError::BadTransition { found } => {
+                write!(f, "invalid status transition from {found:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RqError {}
+
+/// Handle to a Request Queue entry.
+///
+/// Carries a generation so a handle kept across slot reuse is detected as
+/// [`RqError::StaleSlot`] instead of corrupting an unrelated request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct RqSlot {
+    index: usize,
+    generation: u64,
+}
+
+#[derive(Clone, Debug)]
+struct Entry<T> {
+    status: RqEntryStatus,
+    service: u32,
+    generation: u64,
+    ctx: T,
+}
+
+/// The hardware Request Queue: a circular buffer whose entries carry a
+/// status, a service id, and a pointer into Request Context Memory (here:
+/// the owned context value `T`).
+///
+/// Semantics follow §4.3:
+/// - the NIC `enqueue`s at the tail;
+/// - an idle core's `Dequeue` instruction atomically claims the
+///   highest-priority (closest to head) *ready* entry matching its service
+///   id and marks it running;
+/// - `ContextSwitch` marks a running entry blocked (saving state into the
+///   context memory is the caller's concern — see
+///   `um-sched::ctxswitch`);
+/// - the NIC's RPC-response path marks a blocked entry ready again;
+/// - `Complete` marks an entry finished, and the head advances over
+///   finished entries to reclaim slots.
+///
+/// # Examples
+///
+/// ```
+/// use um_sched::{RequestQueue, RqEntryStatus};
+///
+/// let mut rq = RequestQueue::new(4);
+/// let a = rq.enqueue(1, "a").unwrap();
+/// let b = rq.enqueue(1, "b").unwrap();
+/// assert_eq!(rq.dequeue(1).map(|(s, _)| s), Some(a)); // FCFS: a first
+/// rq.block(a).unwrap();
+/// assert_eq!(rq.dequeue(1).map(|(s, _)| s), Some(b));
+/// rq.unblock(a).unwrap();
+/// assert_eq!(rq.status(a), Some(RqEntryStatus::Ready));
+/// ```
+#[derive(Clone, Debug)]
+pub struct RequestQueue<T> {
+    slots: Vec<Option<Entry<T>>>,
+    head: usize,
+    tail: usize,
+    len: usize,
+    next_generation: u64,
+    enqueues: u64,
+    rejections: u64,
+}
+
+impl<T> RequestQueue<T> {
+    /// Creates an empty RQ with `capacity` entries (the paper uses 64 per
+    /// village).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "request queue needs nonzero capacity");
+        Self {
+            slots: (0..capacity).map(|_| None).collect(),
+            head: 0,
+            tail: 0,
+            len: 0,
+            next_generation: 0,
+            enqueues: 0,
+            rejections: 0,
+        }
+    }
+
+    /// Capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of occupied entries (including finished ones not yet
+    /// reclaimed).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the RQ holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether the RQ cannot accept another request.
+    pub fn is_full(&self) -> bool {
+        self.len == self.slots.len()
+    }
+
+    /// Enqueues a request for `service` at the tail.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RqError::Full`] when no slot is free; the caller (the
+    /// village NIC) then buffers or rejects.
+    pub fn enqueue(&mut self, service: u32, ctx: T) -> Result<RqSlot, RqError> {
+        if self.is_full() {
+            self.rejections += 1;
+            return Err(RqError::Full);
+        }
+        let index = self.tail;
+        debug_assert!(self.slots[index].is_none(), "tail points at occupied slot");
+        let generation = self.next_generation;
+        self.next_generation += 1;
+        self.slots[index] = Some(Entry {
+            status: RqEntryStatus::Ready,
+            service,
+            generation,
+            ctx,
+        });
+        self.tail = (self.tail + 1) % self.slots.len();
+        self.len += 1;
+        self.enqueues += 1;
+        Ok(RqSlot { index, generation })
+    }
+
+    /// The `Dequeue` instruction: claims the ready entry closest to the
+    /// head whose service matches, marking it running (FCFS).
+    pub fn dequeue(&mut self, service: u32) -> Option<(RqSlot, &T)> {
+        self.dequeue_with(service, DequeuePolicy::Fcfs, |_| 0)
+    }
+
+    /// Claims the oldest ready entry of *any* service.
+    pub fn dequeue_any(&mut self) -> Option<(RqSlot, &T)> {
+        self.dequeue_inner(None, DequeuePolicy::Fcfs, |_| 0)
+    }
+
+    /// Policy-parameterized dequeue across all services: FCFS takes the
+    /// oldest ready entry; SRPT the one with the smallest `remaining`.
+    pub fn dequeue_any_with(
+        &mut self,
+        policy: DequeuePolicy,
+        remaining: impl Fn(&T) -> u64,
+    ) -> Option<(RqSlot, &T)> {
+        self.dequeue_inner(None, policy, remaining)
+    }
+
+    /// Policy-parameterized dequeue: FCFS takes the oldest ready match;
+    /// SRPT takes the ready match with the smallest `remaining(ctx)`.
+    pub fn dequeue_with(
+        &mut self,
+        service: u32,
+        policy: DequeuePolicy,
+        remaining: impl Fn(&T) -> u64,
+    ) -> Option<(RqSlot, &T)> {
+        self.dequeue_inner(Some(service), policy, remaining)
+    }
+
+    fn dequeue_inner(
+        &mut self,
+        service: Option<u32>,
+        policy: DequeuePolicy,
+        remaining: impl Fn(&T) -> u64,
+    ) -> Option<(RqSlot, &T)> {
+        let cap = self.slots.len();
+        let mut best: Option<(usize, u64)> = None;
+        for off in 0..cap {
+            let idx = (self.head + off) % cap;
+            let Some(entry) = &self.slots[idx] else { continue };
+            if entry.status != RqEntryStatus::Ready {
+                continue;
+            }
+            if let Some(svc) = service {
+                if entry.service != svc {
+                    continue;
+                }
+            }
+            match policy {
+                DequeuePolicy::Fcfs => {
+                    best = Some((idx, 0));
+                    break; // scan order is head-first: first hit is oldest
+                }
+                DequeuePolicy::Srpt => {
+                    let key = remaining(&entry.ctx);
+                    if best.is_none_or(|(_, k)| key < k) {
+                        best = Some((idx, key));
+                    }
+                }
+            }
+        }
+        let (idx, _) = best?;
+        let entry = self.slots[idx].as_mut().expect("chosen slot occupied");
+        entry.status = RqEntryStatus::Running;
+        let slot = RqSlot {
+            index: idx,
+            generation: entry.generation,
+        };
+        Some((slot, &self.slots[idx].as_ref().expect("occupied").ctx))
+    }
+
+    fn entry_mut(&mut self, slot: RqSlot) -> Result<&mut Entry<T>, RqError> {
+        match self.slots[slot.index].as_mut() {
+            Some(e) if e.generation == slot.generation => Ok(e),
+            _ => Err(RqError::StaleSlot),
+        }
+    }
+
+    /// The `ContextSwitch` instruction's RQ side: running -> blocked.
+    ///
+    /// # Errors
+    ///
+    /// [`RqError::StaleSlot`] for reclaimed handles,
+    /// [`RqError::BadTransition`] unless the entry is running.
+    pub fn block(&mut self, slot: RqSlot) -> Result<(), RqError> {
+        let e = self.entry_mut(slot)?;
+        if e.status != RqEntryStatus::Running {
+            return Err(RqError::BadTransition { found: e.status });
+        }
+        e.status = RqEntryStatus::Blocked;
+        Ok(())
+    }
+
+    /// The NIC response path: blocked -> ready.
+    ///
+    /// # Errors
+    ///
+    /// [`RqError::StaleSlot`] / [`RqError::BadTransition`] as for `block`.
+    pub fn unblock(&mut self, slot: RqSlot) -> Result<(), RqError> {
+        let e = self.entry_mut(slot)?;
+        if e.status != RqEntryStatus::Blocked {
+            return Err(RqError::BadTransition { found: e.status });
+        }
+        e.status = RqEntryStatus::Ready;
+        Ok(())
+    }
+
+    /// The `Complete` instruction: running -> finished, then advance the
+    /// head over finished entries, reclaiming their slots.
+    ///
+    /// # Errors
+    ///
+    /// [`RqError::StaleSlot`] / [`RqError::BadTransition`] as for `block`.
+    pub fn complete(&mut self, slot: RqSlot) -> Result<(), RqError> {
+        let e = self.entry_mut(slot)?;
+        if e.status != RqEntryStatus::Running {
+            return Err(RqError::BadTransition { found: e.status });
+        }
+        e.status = RqEntryStatus::Finished;
+        self.reclaim();
+        Ok(())
+    }
+
+    fn reclaim(&mut self) {
+        let cap = self.slots.len();
+        while self.len > 0 {
+            match &self.slots[self.head] {
+                Some(e) if e.status == RqEntryStatus::Finished => {
+                    self.slots[self.head] = None;
+                    self.head = (self.head + 1) % cap;
+                    self.len -= 1;
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Status of an entry; `None` for stale handles.
+    pub fn status(&self, slot: RqSlot) -> Option<RqEntryStatus> {
+        match &self.slots[slot.index] {
+            Some(e) if e.generation == slot.generation => Some(e.status),
+            _ => None,
+        }
+    }
+
+    /// Immutable access to a request's context memory.
+    pub fn ctx(&self, slot: RqSlot) -> Option<&T> {
+        match &self.slots[slot.index] {
+            Some(e) if e.generation == slot.generation => Some(&e.ctx),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to a request's context memory (the NIC writes RPC
+    /// responses here, the core saves register state here).
+    pub fn ctx_mut(&mut self, slot: RqSlot) -> Option<&mut T> {
+        match self.slots.get_mut(slot.index)?.as_mut() {
+            Some(e) if e.generation == slot.generation => Some(&mut e.ctx),
+            _ => None,
+        }
+    }
+
+    /// The per-core Work flag (§4.3): whether a ready entry exists for
+    /// `service`.
+    pub fn has_ready(&self, service: u32) -> bool {
+        self.slots.iter().flatten().any(|e| {
+            e.status == RqEntryStatus::Ready && e.service == service
+        })
+    }
+
+    /// Whether any service has a ready entry.
+    pub fn has_any_ready(&self) -> bool {
+        self.slots
+            .iter()
+            .flatten()
+            .any(|e| e.status == RqEntryStatus::Ready)
+    }
+
+    /// Count of entries in a given status.
+    pub fn count_status(&self, status: RqEntryStatus) -> usize {
+        self.slots
+            .iter()
+            .flatten()
+            .filter(|e| e.status == status)
+            .count()
+    }
+
+    /// Total accepted enqueues.
+    pub fn enqueue_count(&self) -> u64 {
+        self.enqueues
+    }
+
+    /// Total rejected enqueues (RQ full).
+    pub fn rejection_count(&self) -> u64 {
+        self.rejections
+    }
+}
+
+/// The §4.3 "more advanced design": the RQ_Map table partitions the RQ
+/// among co-located services, eliminating cross-service contention for
+/// entries. Implemented as one sub-queue per service with a bounded total
+/// capacity; shares follow the per-service core assignment.
+///
+/// The paper describes but does not evaluate this design; this crate
+/// implements it as an extension and the bench suite ablates it.
+///
+/// # Examples
+///
+/// ```
+/// use um_sched::PartitionedRq;
+///
+/// let mut rq: PartitionedRq<&str> = PartitionedRq::new(64);
+/// rq.set_share(1, 48);
+/// rq.set_share(2, 16);
+/// rq.enqueue(1, "a").unwrap();
+/// assert!(rq.dequeue(1).is_some());
+/// assert!(rq.dequeue(2).is_none());
+/// ```
+#[derive(Clone, Debug)]
+pub struct PartitionedRq<T> {
+    total_capacity: usize,
+    partitions: HashMap<u32, RequestQueue<T>>,
+    default_share: usize,
+}
+
+impl<T> PartitionedRq<T> {
+    /// Creates a partitioned RQ with `total_capacity` entries overall.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_capacity` is zero.
+    pub fn new(total_capacity: usize) -> Self {
+        assert!(total_capacity > 0, "need nonzero capacity");
+        Self {
+            total_capacity,
+            partitions: HashMap::new(),
+            default_share: total_capacity,
+        }
+    }
+
+    /// Total capacity across partitions.
+    pub fn total_capacity(&self) -> usize {
+        self.total_capacity
+    }
+
+    /// Assigns `service` a partition of `entries` slots (recorded in the
+    /// RQ_Map).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero or exceeds the total capacity, or if the
+    /// partition still holds entries (repartitioning is applied between
+    /// bursts, after the partition drains — matching how the hardware
+    /// would switch RQ_Map rows).
+    pub fn set_share(&mut self, service: u32, entries: usize) {
+        assert!(
+            entries > 0 && entries <= self.total_capacity,
+            "share {entries} outside 1..={}",
+            self.total_capacity
+        );
+        match self.partitions.get_mut(&service) {
+            Some(existing) if existing.capacity() == entries => {}
+            Some(existing) => {
+                // Shares only change between bursts in our simulations, so
+                // the partition is drained here; hardware would let it
+                // drain naturally before applying the new RQ_Map row.
+                assert!(
+                    existing.is_empty(),
+                    "online repartitioning with queued entries is not modelled"
+                );
+                *existing = RequestQueue::new(entries);
+            }
+            None => {
+                self.partitions.insert(service, RequestQueue::new(entries));
+            }
+        }
+    }
+
+    fn partition_mut(&mut self, service: u32) -> &mut RequestQueue<T> {
+        let default_share = self.default_share;
+        self.partitions
+            .entry(service)
+            .or_insert_with(|| RequestQueue::new(default_share))
+    }
+
+    /// Enqueues into the service's partition.
+    ///
+    /// # Errors
+    ///
+    /// [`RqError::Full`] when the partition is exhausted — even if other
+    /// partitions have room; that isolation is the point of RQ_Map.
+    pub fn enqueue(&mut self, service: u32, ctx: T) -> Result<RqSlot, RqError> {
+        self.partition_mut(service).enqueue(service, ctx)
+    }
+
+    /// Dequeues the oldest ready entry of `service` from its partition.
+    pub fn dequeue(&mut self, service: u32) -> Option<(RqSlot, &T)> {
+        // Only consult the service's own partition (the Dequeue instruction
+        // checks the RQ_Map first, §4.3).
+        self.partitions.get_mut(&service)?.dequeue(service)
+    }
+
+    /// Forwards to the partition's `block`.
+    ///
+    /// # Errors
+    ///
+    /// As [`RequestQueue::block`]; stale if the service has no partition.
+    pub fn block(&mut self, service: u32, slot: RqSlot) -> Result<(), RqError> {
+        self.partitions
+            .get_mut(&service)
+            .ok_or(RqError::StaleSlot)?
+            .block(slot)
+    }
+
+    /// Forwards to the partition's `unblock`.
+    ///
+    /// # Errors
+    ///
+    /// As [`RequestQueue::unblock`].
+    pub fn unblock(&mut self, service: u32, slot: RqSlot) -> Result<(), RqError> {
+        self.partitions
+            .get_mut(&service)
+            .ok_or(RqError::StaleSlot)?
+            .unblock(slot)
+    }
+
+    /// Forwards to the partition's `complete`.
+    ///
+    /// # Errors
+    ///
+    /// As [`RequestQueue::complete`].
+    pub fn complete(&mut self, service: u32, slot: RqSlot) -> Result<(), RqError> {
+        self.partitions
+            .get_mut(&service)
+            .ok_or(RqError::StaleSlot)?
+            .complete(slot)
+    }
+
+    /// Whether `service` has ready work.
+    pub fn has_ready(&self, service: u32) -> bool {
+        self.partitions
+            .get(&service)
+            .is_some_and(|q| q.has_ready(service))
+    }
+
+    /// Services with a configured partition.
+    pub fn services(&self) -> impl Iterator<Item = u32> + '_ {
+        self.partitions.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fcfs_order_per_service() {
+        let mut rq = RequestQueue::new(8);
+        let a = rq.enqueue(1, "a").unwrap();
+        let _b = rq.enqueue(2, "b").unwrap();
+        let c = rq.enqueue(1, "c").unwrap();
+        assert_eq!(rq.dequeue(1).map(|(s, _)| s), Some(a));
+        assert_eq!(rq.dequeue(1).map(|(s, _)| s), Some(c));
+        assert_eq!(rq.dequeue(1), None); // only service 2 left
+    }
+
+    #[test]
+    fn full_queue_rejects() {
+        let mut rq = RequestQueue::new(2);
+        rq.enqueue(1, 0).unwrap();
+        rq.enqueue(1, 1).unwrap();
+        assert_eq!(rq.enqueue(1, 2), Err(RqError::Full));
+        assert_eq!(rq.rejection_count(), 1);
+    }
+
+    #[test]
+    fn complete_reclaims_head_slots() {
+        let mut rq = RequestQueue::new(2);
+        let a = rq.enqueue(1, 0).unwrap();
+        let b = rq.enqueue(1, 1).unwrap();
+        rq.dequeue(1).unwrap();
+        rq.complete(a).unwrap();
+        assert_eq!(rq.len(), 1);
+        let c = rq.enqueue(1, 2).unwrap(); // reuses a's slot
+        assert_eq!(c.index, a.index);
+        assert_ne!(c.generation, a.generation);
+        assert_eq!(rq.status(a), None, "stale handle must not resolve");
+        let _ = b;
+    }
+
+    #[test]
+    fn out_of_order_completion_delays_reclaim() {
+        let mut rq = RequestQueue::new(3);
+        let a = rq.enqueue(1, 0).unwrap();
+        let b = rq.enqueue(1, 1).unwrap();
+        rq.dequeue(1).unwrap(); // a running
+        rq.dequeue(1).unwrap(); // b running
+        rq.complete(b).unwrap();
+        // Head (a) not finished: b's slot is not yet reclaimed.
+        assert_eq!(rq.len(), 2);
+        rq.complete(a).unwrap();
+        // Now both reclaim.
+        assert_eq!(rq.len(), 0);
+        assert!(rq.is_empty());
+    }
+
+    #[test]
+    fn block_unblock_cycle() {
+        let mut rq = RequestQueue::new(4);
+        let a = rq.enqueue(7, "ctx").unwrap();
+        rq.dequeue(7).unwrap();
+        rq.block(a).unwrap();
+        assert_eq!(rq.status(a), Some(RqEntryStatus::Blocked));
+        assert!(!rq.has_ready(7));
+        rq.unblock(a).unwrap();
+        assert!(rq.has_ready(7));
+        let (again, _) = rq.dequeue(7).unwrap();
+        assert_eq!(again, a);
+    }
+
+    #[test]
+    fn bad_transitions_rejected() {
+        let mut rq = RequestQueue::new(4);
+        let a = rq.enqueue(1, ()).unwrap();
+        // Ready -> block is invalid (must be running).
+        assert!(matches!(rq.block(a), Err(RqError::BadTransition { .. })));
+        // Ready -> unblock is invalid.
+        assert!(matches!(rq.unblock(a), Err(RqError::BadTransition { .. })));
+        // Ready -> complete is invalid.
+        assert!(matches!(rq.complete(a), Err(RqError::BadTransition { .. })));
+    }
+
+    #[test]
+    fn blocked_requests_do_not_block_others() {
+        let mut rq = RequestQueue::new(4);
+        let a = rq.enqueue(1, "a").unwrap();
+        let _b = rq.enqueue(1, "b").unwrap();
+        rq.dequeue(1).unwrap();
+        rq.block(a).unwrap();
+        // b is still dequeueable although a (older) is blocked.
+        let (slot, ctx) = rq.dequeue(1).unwrap();
+        assert_eq!(*ctx, "b");
+        assert_ne!(slot, a);
+    }
+
+    #[test]
+    fn ctx_mut_updates() {
+        let mut rq = RequestQueue::new(2);
+        let a = rq.enqueue(1, vec![0u8; 4]).unwrap();
+        rq.ctx_mut(a).unwrap().push(9);
+        assert_eq!(rq.ctx(a).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn wraparound_preserves_fcfs() {
+        let mut rq = RequestQueue::new(3);
+        let mut order = Vec::new();
+        // Push/complete enough to wrap several times.
+        for i in 0..10 {
+            let s = rq.enqueue(1, i).unwrap();
+            let (got, &v) = rq.dequeue(1).unwrap();
+            assert_eq!(got, s);
+            order.push(v);
+            rq.complete(s).unwrap();
+        }
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn srpt_picks_shortest() {
+        let mut rq = RequestQueue::new(4);
+        rq.enqueue(1, 500u64).unwrap();
+        rq.enqueue(1, 100u64).unwrap();
+        rq.enqueue(1, 300u64).unwrap();
+        let (_, &v) = rq
+            .dequeue_with(1, DequeuePolicy::Srpt, |&rem| rem)
+            .unwrap();
+        assert_eq!(v, 100);
+    }
+
+    #[test]
+    fn dequeue_any_with_srpt_picks_shortest_across_services() {
+        let mut rq = RequestQueue::new(4);
+        rq.enqueue(1, 900u64).unwrap();
+        rq.enqueue(2, 50u64).unwrap();
+        rq.enqueue(1, 300u64).unwrap();
+        let (_, &v) = rq
+            .dequeue_any_with(DequeuePolicy::Srpt, |&rem| rem)
+            .unwrap();
+        assert_eq!(v, 50);
+        // FCFS ignores the estimator and takes the oldest.
+        let (_, &v) = rq
+            .dequeue_any_with(DequeuePolicy::Fcfs, |&rem| rem)
+            .unwrap();
+        assert_eq!(v, 900);
+    }
+
+    #[test]
+    fn dequeue_any_ignores_service() {
+        let mut rq = RequestQueue::new(4);
+        rq.enqueue(5, "x").unwrap();
+        assert!(rq.dequeue(1).is_none());
+        assert!(rq.dequeue_any().is_some());
+    }
+
+    #[test]
+    fn counters() {
+        let mut rq = RequestQueue::new(2);
+        let a = rq.enqueue(1, ()).unwrap();
+        rq.enqueue(1, ()).unwrap();
+        let _ = rq.enqueue(1, ());
+        assert_eq!(rq.enqueue_count(), 2);
+        assert_eq!(rq.rejection_count(), 1);
+        rq.dequeue(1).unwrap();
+        assert_eq!(rq.count_status(RqEntryStatus::Running), 1);
+        assert_eq!(rq.count_status(RqEntryStatus::Ready), 1);
+        let _ = a;
+    }
+
+    #[test]
+    fn partitioned_isolation() {
+        let mut rq: PartitionedRq<u32> = PartitionedRq::new(8);
+        rq.set_share(1, 2);
+        rq.set_share(2, 6);
+        rq.enqueue(1, 10).unwrap();
+        rq.enqueue(1, 11).unwrap();
+        // Service 1's partition is full even though service 2 has room.
+        assert_eq!(rq.enqueue(1, 12), Err(RqError::Full));
+        assert!(rq.enqueue(2, 20).is_ok());
+    }
+
+    #[test]
+    fn partitioned_lifecycle() {
+        let mut rq: PartitionedRq<&str> = PartitionedRq::new(8);
+        rq.set_share(3, 4);
+        let s = rq.enqueue(3, "req").unwrap();
+        let (got, _) = rq.dequeue(3).unwrap();
+        assert_eq!(got, s);
+        rq.block(3, s).unwrap();
+        rq.unblock(3, s).unwrap();
+        rq.dequeue(3).unwrap();
+        rq.complete(3, s).unwrap();
+        assert!(!rq.has_ready(3));
+    }
+
+    #[test]
+    fn partitioned_unknown_service_errors() {
+        let mut rq: PartitionedRq<u32> = PartitionedRq::new(8);
+        let fake = {
+            let mut tmp: RequestQueue<u32> = RequestQueue::new(1);
+            tmp.enqueue(9, 0).unwrap()
+        };
+        assert_eq!(rq.block(9, fake), Err(RqError::StaleSlot));
+        assert!(rq.dequeue(9).is_none());
+    }
+
+    #[test]
+    fn repartition_empty_queue() {
+        let mut rq: PartitionedRq<u32> = PartitionedRq::new(64);
+        rq.set_share(1, 16);
+        rq.set_share(1, 32); // grow while empty: fine
+        rq.enqueue(1, 1).unwrap();
+        assert!(rq.dequeue(1).is_some());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[derive(Clone, Debug)]
+    enum Op {
+        Enqueue(u32),
+        Dequeue(u32),
+        BlockNewest,
+        UnblockOldestBlocked,
+        CompleteNewestRunning,
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (0u32..3).prop_map(Op::Enqueue),
+            (0u32..3).prop_map(Op::Dequeue),
+            Just(Op::BlockNewest),
+            Just(Op::UnblockOldestBlocked),
+            Just(Op::CompleteNewestRunning),
+        ]
+    }
+
+    proptest! {
+        /// The RQ never exceeds capacity, never loses a request silently,
+        /// and status transitions always go through legal paths.
+        #[test]
+        fn rq_state_machine(ops in proptest::collection::vec(op_strategy(), 1..300)) {
+            let mut rq: RequestQueue<u64> = RequestQueue::new(8);
+            let mut running: Vec<RqSlot> = Vec::new();
+            let mut blocked: Vec<RqSlot> = Vec::new();
+            let mut accepted = 0u64;
+            let mut completed = 0u64;
+            for op in ops {
+                match op {
+                    Op::Enqueue(svc) => {
+                        if rq.enqueue(svc, 0).is_ok() {
+                            accepted += 1;
+                        }
+                    }
+                    Op::Dequeue(svc) => {
+                        if let Some((slot, _)) = rq.dequeue(svc) {
+                            running.push(slot);
+                        }
+                    }
+                    Op::BlockNewest => {
+                        if let Some(slot) = running.pop() {
+                            rq.block(slot).expect("running slot blocks");
+                            blocked.push(slot);
+                        }
+                    }
+                    Op::UnblockOldestBlocked => {
+                        if !blocked.is_empty() {
+                            let slot = blocked.remove(0);
+                            rq.unblock(slot).expect("blocked slot unblocks");
+                        }
+                    }
+                    Op::CompleteNewestRunning => {
+                        if let Some(slot) = running.pop() {
+                            rq.complete(slot).expect("running slot completes");
+                            completed += 1;
+                        }
+                    }
+                }
+                prop_assert!(rq.len() <= rq.capacity());
+            }
+            // Everything accepted is either still tracked or completed;
+            // finished entries awaiting head reclamation are both, so
+            // subtract them once.
+            let live = rq.len() as u64;
+            let finished_unreclaimed = rq.count_status(RqEntryStatus::Finished) as u64;
+            prop_assert_eq!(accepted, completed + live - finished_unreclaimed);
+        }
+    }
+}

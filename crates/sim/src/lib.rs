@@ -1,0 +1,40 @@
+//! Discrete-event simulation engine for the uManycore reproduction.
+//!
+//! The paper evaluates uManycore with the SST structural simulator driven by
+//! Pin traces. This crate is the substitute substrate: a deterministic,
+//! cycle-resolution discrete-event core that the system simulator in the
+//! `umanycore` crate builds on.
+//!
+//! Contents:
+//!
+//! - [`Cycles`]: a typed cycle count with saturating arithmetic and
+//!   wall-clock conversions at a given core frequency.
+//! - [`EventQueue`]: a monotonic future-event list with deterministic FIFO
+//!   tie-breaking, generic over the event payload type.
+//! - [`rng`]: reproducible per-component random streams split from one master
+//!   seed, so every experiment is bit-reproducible.
+//!
+//! # Examples
+//!
+//! Simulating two events in time order:
+//!
+//! ```
+//! use um_sim::{Cycles, EventQueue};
+//!
+//! let mut q: EventQueue<&str> = EventQueue::new();
+//! q.schedule(Cycles::new(100), "later");
+//! q.schedule(Cycles::new(10), "sooner");
+//! assert_eq!(q.pop(), Some((Cycles::new(10), "sooner")));
+//! assert_eq!(q.pop(), Some((Cycles::new(100), "later")));
+//! assert_eq!(q.pop(), None);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod queue;
+pub mod rng;
+mod time;
+
+pub use queue::EventQueue;
+pub use time::{Cycles, Frequency};

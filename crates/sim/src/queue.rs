@@ -1,0 +1,272 @@
+//! The future-event list.
+
+use crate::Cycles;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A time-ordered event queue with deterministic FIFO tie-breaking.
+///
+/// `EventQueue` is the heart of the discrete-event simulator: events are
+/// scheduled at absolute times (or relative delays from "now") and popped in
+/// non-decreasing time order. Two events scheduled for the same cycle are
+/// delivered in scheduling order, which makes simulations reproducible
+/// independent of heap internals.
+///
+/// Popping advances the queue's clock; scheduling into the past panics,
+/// because causality violations are always simulator bugs.
+///
+/// # Examples
+///
+/// ```
+/// use um_sim::{Cycles, EventQueue};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule_at(Cycles::new(5), 'b');
+/// q.schedule_at(Cycles::new(5), 'c'); // same time: FIFO order
+/// q.schedule_at(Cycles::new(1), 'a');
+/// let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+/// assert_eq!(order, ['a', 'b', 'c']);
+/// ```
+#[derive(Clone, Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    now: Cycles,
+    seq: u64,
+}
+
+#[derive(Clone, Debug)]
+struct Entry<E> {
+    time: Cycles,
+    seq: u64,
+    event: E,
+}
+
+// Min-heap by (time, seq): BinaryHeap is a max-heap, so invert the ordering.
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at zero.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            now: Cycles::ZERO,
+            seq: 0,
+        }
+    }
+
+    /// The current simulation time: the timestamp of the last popped event.
+    pub fn now(&self) -> Cycles {
+        self.now
+    }
+
+    /// Schedules `event` at the absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before [`Self::now`].
+    pub fn schedule_at(&mut self, at: Cycles, event: E) {
+        assert!(
+            at >= self.now,
+            "scheduling into the past: at={at} now={}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { time: at, seq, event });
+    }
+
+    /// Schedules `event` after `delay` cycles from now.
+    pub fn schedule(&mut self, delay: Cycles, event: E) {
+        self.schedule_at(self.now.saturating_add(delay), event);
+    }
+
+    /// Removes and returns the earliest event, advancing the clock to its
+    /// timestamp. Returns `None` when the queue is drained.
+    pub fn pop(&mut self) -> Option<(Cycles, E)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.time >= self.now, "heap produced out-of-order event");
+        self.now = entry.time;
+        Some((entry.time, entry.event))
+    }
+
+    /// Timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<Cycles> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops all pending events, keeping the clock.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Cycles::new(30), 3);
+        q.schedule_at(Cycles::new(10), 1);
+        q.schedule_at(Cycles::new(20), 2);
+        assert_eq!(q.pop(), Some((Cycles::new(10), 1)));
+        assert_eq!(q.pop(), Some((Cycles::new(20), 2)));
+        assert_eq!(q.pop(), Some((Cycles::new(30), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn fifo_on_ties() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule_at(Cycles::new(7), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((Cycles::new(7), i)));
+        }
+    }
+
+    #[test]
+    fn clock_advances_on_pop_only() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Cycles::new(50), ());
+        assert_eq!(q.now(), Cycles::ZERO);
+        q.pop();
+        assert_eq!(q.now(), Cycles::new(50));
+    }
+
+    #[test]
+    fn relative_schedule_uses_now() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Cycles::new(10), 'a');
+        q.pop();
+        q.schedule(Cycles::new(5), 'b');
+        assert_eq!(q.pop(), Some((Cycles::new(15), 'b')));
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_into_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Cycles::new(10), ());
+        q.pop();
+        q.schedule_at(Cycles::new(5), ());
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Cycles::new(9), ());
+        assert_eq!(q.peek_time(), Some(Cycles::new(9)));
+        assert_eq!(q.now(), Cycles::ZERO);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn clear_keeps_clock() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Cycles::new(10), ());
+        q.pop();
+        q.schedule(Cycles::new(100), ());
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.now(), Cycles::new(10));
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Cycles::new(1), 1u32);
+        q.schedule_at(Cycles::new(100), 100);
+        let mut seen = Vec::new();
+        while let Some((t, e)) = q.pop() {
+            seen.push(e);
+            if e == 1 {
+                // Schedule a follow-up between the two pending times.
+                q.schedule_at(t + Cycles::new(10), 11);
+            }
+        }
+        assert_eq!(seen, vec![1, 11, 100]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Popped timestamps are always non-decreasing, regardless of the
+        /// scheduling order.
+        #[test]
+        fn pop_order_is_monotone(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+            let mut q = EventQueue::new();
+            for &t in &times {
+                q.schedule_at(Cycles::new(t), t);
+            }
+            let mut last = Cycles::ZERO;
+            while let Some((t, _)) = q.pop() {
+                prop_assert!(t >= last);
+                last = t;
+            }
+        }
+
+        /// Every scheduled event is delivered exactly once.
+        #[test]
+        fn conservation(times in proptest::collection::vec(0u64..10_000, 0..200)) {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.schedule_at(Cycles::new(t), i);
+            }
+            let mut delivered: Vec<usize> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+            delivered.sort_unstable();
+            prop_assert_eq!(delivered, (0..times.len()).collect::<Vec<_>>());
+        }
+
+        /// Same-time events preserve scheduling order (stability).
+        #[test]
+        fn stable_ties(n in 1usize..100) {
+            let mut q = EventQueue::new();
+            for i in 0..n {
+                q.schedule_at(Cycles::new(42), i);
+            }
+            let order: Vec<usize> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+            prop_assert_eq!(order, (0..n).collect::<Vec<_>>());
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Empirical cumulative distribution functions.
+
+use std::fmt;
+
+/// An empirical CDF built from a finite set of samples.
+///
+/// Used to reproduce the paper's distribution figures: Figure 2 (requests per
+/// second per server), Figure 4 (CPU utilization per request) and Figure 5
+/// (RPC invocations per request). Supports forward evaluation `F(x)` and
+/// inverse lookup (quantiles), plus rendering as `(x, F(x))` rows.
+///
+/// # Examples
+///
+/// ```
+/// use um_stats::Cdf;
+///
+/// let cdf = Cdf::from_samples([1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(cdf.eval(0.5), 0.0);
+/// assert_eq!(cdf.eval(2.0), 0.5);
+/// assert_eq!(cdf.eval(10.0), 1.0);
+/// assert_eq!(cdf.inverse(0.5), 2.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds an empirical CDF from samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sample is NaN or the input is empty.
+    pub fn from_samples<I: IntoIterator<Item = f64>>(samples: I) -> Self {
+        let mut sorted: Vec<f64> = samples.into_iter().collect();
+        assert!(!sorted.is_empty(), "cannot build a CDF from zero samples");
+        assert!(sorted.iter().all(|v| !v.is_nan()), "NaN sample in CDF input");
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN checked above"));
+        Self { sorted }
+    }
+
+    /// Evaluates `F(x)`: the fraction of samples ≤ `x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        // partition_point: first index with sorted[i] > x.
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// Inverse CDF (quantile function) by nearest rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `\[0, 1\]`.
+    pub fn inverse(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        if q <= 0.0 {
+            return self.sorted[0];
+        }
+        let rank = (q * self.sorted.len() as f64).ceil() as usize;
+        self.sorted[rank.clamp(1, self.sorted.len()) - 1]
+    }
+
+    /// Number of underlying samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Always false: construction rejects empty inputs.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Median of the distribution.
+    pub fn median(&self) -> f64 {
+        self.inverse(0.5)
+    }
+
+    /// Produces `points` evenly spaced `(x, F(x))` rows spanning the sample
+    /// range, for printing a figure's CDF curve.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points < 2`.
+    pub fn curve(&self, points: usize) -> Vec<(f64, f64)> {
+        assert!(points >= 2, "need at least two points for a curve");
+        let lo = self.sorted[0];
+        let hi = *self.sorted.last().expect("nonempty");
+        (0..points)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (points - 1) as f64;
+                (x, self.eval(x))
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Cdf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Cdf(n={}, p50={:.3}, p99={:.3})",
+            self.len(),
+            self.inverse(0.5),
+            self.inverse(0.99)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_below_above_range() {
+        let cdf = Cdf::from_samples([10.0, 20.0]);
+        assert_eq!(cdf.eval(5.0), 0.0);
+        assert_eq!(cdf.eval(10.0), 0.5);
+        assert_eq!(cdf.eval(15.0), 0.5);
+        assert_eq!(cdf.eval(25.0), 1.0);
+    }
+
+    #[test]
+    fn inverse_round_trips_ranks() {
+        let cdf = Cdf::from_samples((1..=100).map(f64::from));
+        assert_eq!(cdf.inverse(0.01), 1.0);
+        assert_eq!(cdf.inverse(0.50), 50.0);
+        assert_eq!(cdf.inverse(1.0), 100.0);
+    }
+
+    #[test]
+    fn eval_is_monotone() {
+        let cdf = Cdf::from_samples([3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]);
+        let mut last = 0.0;
+        for i in 0..100 {
+            let x = i as f64 / 10.0;
+            let y = cdf.eval(x);
+            assert!(y >= last);
+            last = y;
+        }
+    }
+
+    #[test]
+    fn curve_spans_range_and_ends_at_one() {
+        let cdf = Cdf::from_samples((1..=50).map(f64::from));
+        let curve = cdf.curve(11);
+        assert_eq!(curve.len(), 11);
+        assert_eq!(curve[0].0, 1.0);
+        assert_eq!(curve[10].0, 50.0);
+        assert_eq!(curve[10].1, 1.0);
+    }
+
+    #[test]
+    fn duplicates_handled() {
+        let cdf = Cdf::from_samples([2.0, 2.0, 2.0, 2.0]);
+        assert_eq!(cdf.eval(2.0), 1.0);
+        assert_eq!(cdf.eval(1.9), 0.0);
+        assert_eq!(cdf.median(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero samples")]
+    fn empty_rejected() {
+        let _ = Cdf::from_samples(std::iter::empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        let _ = Cdf::from_samples([1.0, f64::NAN]);
+    }
+}

@@ -1,0 +1,317 @@
+//! Streaming log-bucketed histogram.
+
+use std::fmt;
+
+/// Number of linear sub-buckets per power-of-two bucket. Higher means finer
+/// resolution; 32 keeps quantile error below ~3%, plenty for latency tails.
+const SUB_BUCKETS: usize = 32;
+
+/// A streaming histogram with logarithmic buckets, HdrHistogram-style.
+///
+/// Values are recorded as `u64` (the simulator's cycle counts). Memory is
+/// constant regardless of the number of recorded values, so the histogram is
+/// suitable for long simulations where [`crate::Samples`] would grow without
+/// bound. Quantile queries have bounded relative error (one sub-bucket width,
+/// about 3%).
+///
+/// # Examples
+///
+/// ```
+/// use um_stats::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in 1..=1000u64 {
+///     h.record(v);
+/// }
+/// let p50 = h.quantile(0.5);
+/// assert!((450..=550).contains(&p50), "p50 was {p50}");
+/// ```
+#[derive(Clone)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram covering the full `u64` range.
+    pub fn new() -> Self {
+        // 64 powers of two, each split into SUB_BUCKETS linear slots.
+        Self {
+            counts: vec![0; 64 * SUB_BUCKETS],
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            return 0;
+        }
+        let exp = 63 - value.leading_zeros() as usize; // floor(log2(value))
+        if exp < 5 {
+            // Values below 32 map to their own slot in the first buckets.
+            return value as usize;
+        }
+        // Sub-bucket index: top 5 bits below the leading bit.
+        let sub = ((value >> (exp - 5)) & (SUB_BUCKETS as u64 - 1)) as usize;
+        exp * SUB_BUCKETS + sub
+    }
+
+    /// Representative (upper-edge) value for bucket `idx`.
+    ///
+    /// Indices in `SUB_BUCKETS..5*SUB_BUCKETS` are never produced by
+    /// [`Self::bucket_of`] (small values get exact slots); they map to their
+    /// own index so the function is total.
+    fn bucket_value(idx: usize) -> u64 {
+        let exp = idx / SUB_BUCKETS;
+        if exp < 5 {
+            return idx as u64;
+        }
+        let sub = (idx % SUB_BUCKETS) as u64;
+        (1u64 << exp) + (sub << (exp - 5)) + ((1u64 << (exp - 5)) - 1)
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket_of(value)] += 1;
+        self.total += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Records `count` occurrences of `value` at once.
+    pub fn record_n(&mut self, value: u64, count: u64) {
+        self.counts[Self::bucket_of(value)] += count;
+        self.total += count;
+        self.sum += value as u128 * count as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Total number of recorded values.
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Exact arithmetic mean of recorded values (sums are exact; only the
+    /// bucketed quantiles are approximate). 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.sum as f64 / self.total as f64
+    }
+
+    /// Exact minimum recorded value; 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum recorded value; 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Approximate `q`-quantile (nearest rank over buckets); 0 when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `\[0, 1\]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        if self.total == 0 {
+            return 0;
+        }
+        let target = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::bucket_value(idx).min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// Approximate P99.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Iterates over non-empty `(bucket_upper_edge, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (Self::bucket_value(i), c))
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Histogram")
+            .field("total", &self.total)
+            .field("mean", &self.mean())
+            .field("min", &self.min())
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_behaves() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..32u64 {
+            h.record(v);
+        }
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 31);
+        assert_eq!(h.quantile(1.0), 31);
+        assert_eq!(h.quantile(0.0), 0);
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 30, 1_000_000] {
+            h.record(v);
+        }
+        assert_eq!(h.mean(), (10.0 + 20.0 + 30.0 + 1_000_000.0) / 4.0);
+    }
+
+    #[test]
+    fn quantile_relative_error_bounded() {
+        let mut h = Histogram::new();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let approx = h.quantile(q) as f64;
+            let exact = (q * 100_000.0).ceil();
+            let rel = (approx - exact).abs() / exact;
+            assert!(rel < 0.05, "q={q} approx={approx} exact={exact} rel={rel}");
+        }
+    }
+
+    #[test]
+    fn record_n_equivalent_to_loop() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record_n(77, 5);
+        for _ in 0..5 {
+            b.record(77);
+        }
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.quantile(0.5), b.quantile(0.5));
+        assert_eq!(a.mean(), b.mean());
+    }
+
+    #[test]
+    fn merge_matches_combined_recording() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut c = Histogram::new();
+        for v in 1..=500u64 {
+            a.record(v);
+            c.record(v);
+        }
+        for v in 501..=1000u64 {
+            b.record(v);
+            c.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.len(), c.len());
+        assert_eq!(a.quantile(0.9), c.quantile(0.9));
+        assert_eq!(a.min(), c.min());
+        assert_eq!(a.max(), c.max());
+    }
+
+    #[test]
+    fn huge_values_do_not_panic() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        assert_eq!(h.max(), u64::MAX);
+        assert!(h.quantile(0.99) > u64::MAX / 2);
+    }
+
+    #[test]
+    fn iter_counts_sum_to_total() {
+        let mut h = Histogram::new();
+        for v in [1u64, 1, 2, 3, 1000, 65_536] {
+            h.record(v);
+        }
+        let total: u64 = h.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, h.len());
+    }
+
+    #[test]
+    fn bucket_value_is_monotone_over_reachable_buckets() {
+        // Walk values in increasing order; their bucket upper edges must be
+        // non-decreasing (this is what the quantile scan relies on).
+        let mut last_edge = 0;
+        let mut v = 0u64;
+        while v < (1u64 << 48) {
+            let edge = Histogram::bucket_value(Histogram::bucket_of(v));
+            assert!(edge >= last_edge, "value {v}: edge {edge} < {last_edge}");
+            last_edge = edge;
+            v = (v * 2).max(v + 1);
+        }
+    }
+
+    #[test]
+    fn bucket_of_maps_value_into_its_bucket_range() {
+        for v in [0u64, 1, 31, 32, 33, 100, 1_000, 123_456, 1 << 40] {
+            let idx = Histogram::bucket_of(v);
+            let upper = Histogram::bucket_value(idx);
+            assert!(upper >= v, "value {v} above bucket upper edge {upper}");
+        }
+    }
+}

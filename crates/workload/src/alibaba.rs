@@ -1,0 +1,207 @@
+//! Synthetic Alibaba-like production traces (paper §3.2–§3.3).
+//!
+//! The paper characterizes Alibaba's production microservice traces \[50\]
+//! through four published statistics, which this module reproduces by
+//! construction (the real traces are not redistributable, so this is the
+//! documented substitution — see DESIGN.md):
+//!
+//! - **Figure 2** — per-server load: median ≈500 RPS, ≥1000 RPS 20% of the
+//!   time, ≥1500 RPS 5% of the time ([`AlibabaModel::server_load_rps`]).
+//! - **Figure 4** — CPU utilization per request: median ≈14%, 99% of
+//!   requests below 60% ([`AlibabaModel::cpu_utilization`]).
+//! - **Figure 5** — RPC invocations per request: median ≈4.2, ~5% of
+//!   requests with 16+ RPCs, observed up to ~40
+//!   ([`AlibabaModel::rpc_count`]).
+//! - **§3.3 durations** — 36.7% of invocations below 1 ms; geometric mean
+//!   of the rest 2.8 ms ([`AlibabaModel::duration_ms`]).
+
+use crate::dist::sample_standard_normal;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use um_sim::rng;
+
+/// One synthesized per-request trace record.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TraceRecord {
+    /// End-to-end duration of the dynamic invocation in milliseconds.
+    pub duration_ms: f64,
+    /// Fraction of the duration the request actually held a CPU.
+    pub cpu_utilization: f64,
+    /// Number of blocking RPC invocations the request performed.
+    pub rpc_count: u32,
+}
+
+/// Generator for Alibaba-like trace marginals.
+///
+/// # Examples
+///
+/// ```
+/// use um_workload::alibaba::AlibabaModel;
+///
+/// let mut m = AlibabaModel::new(11);
+/// let rec = m.record();
+/// assert!(rec.duration_ms > 0.0);
+/// assert!((0.0..=1.0).contains(&rec.cpu_utilization));
+/// ```
+#[derive(Clone, Debug)]
+pub struct AlibabaModel {
+    rng: SmallRng,
+}
+
+/// Lognormal parameters fitted to Figure 2 (RPS per server).
+const RPS_MEDIAN: f64 = 500.0;
+const RPS_SIGMA: f64 = 0.72;
+
+/// Lognormal parameters fitted to Figure 4 (CPU utilization).
+const UTIL_MEDIAN: f64 = 0.14;
+const UTIL_SIGMA: f64 = 0.588;
+
+/// Lognormal parameters fitted to Figure 5 (RPC count).
+const RPC_MEDIAN: f64 = 4.2;
+const RPC_SIGMA: f64 = 0.813;
+const RPC_MAX: u32 = 40;
+
+/// §3.3 duration mixture.
+const SHORT_FRACTION: f64 = 0.367;
+const SHORT_MEDIAN_MS: f64 = 0.45;
+const SHORT_SIGMA: f64 = 0.5;
+const LONG_GEOMEAN_MS: f64 = 2.8;
+const LONG_SIGMA: f64 = 0.8;
+
+impl AlibabaModel {
+    /// Creates a generator with a deterministic stream for `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: rng::stream(seed, "alibaba-trace"),
+        }
+    }
+
+    fn lognormal(&mut self, median: f64, sigma: f64) -> f64 {
+        (median.ln() + sigma * sample_standard_normal(&mut self.rng)).exp()
+    }
+
+    /// Draws one per-server-second load sample in RPS (Figure 2).
+    pub fn server_load_rps(&mut self) -> f64 {
+        self.lognormal(RPS_MEDIAN, RPS_SIGMA)
+    }
+
+    /// Draws one per-request CPU utilization in `\[0, 1\]` (Figure 4).
+    pub fn cpu_utilization(&mut self) -> f64 {
+        self.lognormal(UTIL_MEDIAN, UTIL_SIGMA).min(1.0)
+    }
+
+    /// Draws one per-request RPC invocation count (Figure 5).
+    pub fn rpc_count(&mut self) -> u32 {
+        (self.lognormal(RPC_MEDIAN, RPC_SIGMA).round() as u32).min(RPC_MAX)
+    }
+
+    /// Draws one dynamic-invocation duration in milliseconds (§3.3).
+    pub fn duration_ms(&mut self) -> f64 {
+        if self.rng.gen::<f64>() < SHORT_FRACTION {
+            // Sub-millisecond invocations.
+            self.lognormal(SHORT_MEDIAN_MS, SHORT_SIGMA).min(0.999)
+        } else {
+            self.lognormal(LONG_GEOMEAN_MS, LONG_SIGMA).max(1.0)
+        }
+    }
+
+    /// Draws one complete record.
+    pub fn record(&mut self) -> TraceRecord {
+        TraceRecord {
+            duration_ms: self.duration_ms(),
+            cpu_utilization: self.cpu_utilization(),
+            rpc_count: self.rpc_count(),
+        }
+    }
+
+    /// Draws `n` records.
+    pub fn records(&mut self, n: usize) -> Vec<TraceRecord> {
+        (0..n).map(|_| self.record()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use um_stats::Cdf;
+
+    fn model() -> AlibabaModel {
+        AlibabaModel::new(42)
+    }
+
+    const N: usize = 100_000;
+
+    #[test]
+    fn figure2_rps_quantiles() {
+        let mut m = model();
+        let cdf = Cdf::from_samples((0..N).map(|_| m.server_load_rps()));
+        let median = cdf.inverse(0.5);
+        let p80 = cdf.inverse(0.80);
+        let p95 = cdf.inverse(0.95);
+        assert!((450.0..550.0).contains(&median), "median {median}");
+        // Paper: >= 1000 RPS 20% of the time.
+        assert!((800.0..1200.0).contains(&p80), "p80 {p80}");
+        // Paper: >= 1500 RPS 5% of the time.
+        assert!((1300.0..1900.0).contains(&p95), "p95 {p95}");
+    }
+
+    #[test]
+    fn figure4_utilization_quantiles() {
+        let mut m = model();
+        let cdf = Cdf::from_samples((0..N).map(|_| m.cpu_utilization()));
+        let median = cdf.inverse(0.5);
+        let p99 = cdf.inverse(0.99);
+        assert!((0.12..0.16).contains(&median), "median {median}");
+        assert!(p99 < 0.62, "p99 {p99}, paper: 99% below 60%");
+        assert!(cdf.inverse(1.0) <= 1.0);
+    }
+
+    #[test]
+    fn figure5_rpc_quantiles() {
+        let mut m = model();
+        let samples: Vec<f64> = (0..N).map(|_| m.rpc_count() as f64).collect();
+        let cdf = Cdf::from_samples(samples.iter().copied());
+        let median = cdf.inverse(0.5);
+        assert!((3.5..5.0).contains(&median), "median {median}, paper ~4.2");
+        // Paper: about 5% of requests invoke 16 or more RPCs.
+        let frac16 = samples.iter().filter(|&&s| s >= 16.0).count() as f64 / N as f64;
+        assert!((0.02..0.09).contains(&frac16), "frac >= 16 rpcs: {frac16}");
+        assert!(samples.iter().all(|&s| s <= RPC_MAX as f64));
+    }
+
+    #[test]
+    fn duration_mixture_matches_paper() {
+        let mut m = model();
+        let durations: Vec<f64> = (0..N).map(|_| m.duration_ms()).collect();
+        let sub_ms = durations.iter().filter(|&&d| d < 1.0).count() as f64 / N as f64;
+        assert!(
+            (0.33..0.41).contains(&sub_ms),
+            "sub-ms fraction {sub_ms}, paper 36.7%"
+        );
+        let long: Vec<f64> = durations.iter().copied().filter(|&d| d >= 1.0).collect();
+        let geomean = um_stats::summary::geomean(&long);
+        assert!(
+            (2.2..3.4).contains(&geomean),
+            "long geomean {geomean} ms, paper 2.8"
+        );
+    }
+
+    #[test]
+    fn records_are_plausible() {
+        let mut m = model();
+        for rec in m.records(1_000) {
+            assert!(rec.duration_ms > 0.0);
+            assert!((0.0..=1.0).contains(&rec.cpu_utilization));
+            assert!(rec.rpc_count <= RPC_MAX);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = AlibabaModel::new(1).records(100);
+        let b = AlibabaModel::new(1).records(100);
+        let c = AlibabaModel::new(2).records(100);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,289 @@
+//! Service-time distributions (paper §5, §6.7).
+//!
+//! The synthetic benchmarks use exponential, lognormal and bimodal service
+//! times, the same three families as Shinjuku's evaluation. Samplers are
+//! implemented from scratch on top of `rand`'s uniform source: exponential
+//! by inverse CDF, normal by Box–Muller, bimodal as a two-point mixture.
+
+use rand::Rng;
+
+/// A distribution of service times, in microseconds.
+///
+/// # Examples
+///
+/// ```
+/// use um_workload::ServiceTimeDist;
+/// use rand::SeedableRng;
+///
+/// let d = ServiceTimeDist::exponential(100.0);
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+/// let x = d.sample(&mut rng);
+/// assert!(x > 0.0);
+/// assert!((d.mean() - 100.0).abs() < 1e-9);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ServiceTimeDist {
+    /// Exponential with the given mean.
+    Exponential {
+        /// Mean in microseconds.
+        mean_us: f64,
+    },
+    /// Lognormal parameterized by the underlying normal's mu/sigma.
+    LogNormal {
+        /// Mean of the underlying normal (of ln X).
+        mu: f64,
+        /// Standard deviation of the underlying normal.
+        sigma: f64,
+    },
+    /// Two-point bimodal: value `lo` with probability `p_lo`, else `hi`.
+    Bimodal {
+        /// The short service time.
+        lo_us: f64,
+        /// The long service time.
+        hi_us: f64,
+        /// Probability of the short time.
+        p_lo: f64,
+    },
+    /// Deterministic (for tests and calibration).
+    Constant {
+        /// The fixed value in microseconds.
+        value_us: f64,
+    },
+}
+
+impl ServiceTimeDist {
+    /// Exponential distribution with mean `mean_us`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `mean_us > 0`.
+    pub fn exponential(mean_us: f64) -> Self {
+        assert!(mean_us > 0.0, "mean must be positive");
+        ServiceTimeDist::Exponential { mean_us }
+    }
+
+    /// Lognormal distribution with the given *distribution* mean and a
+    /// squared coefficient of variation `scv` (variance/mean^2).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `mean_us > 0` and `scv > 0`.
+    pub fn lognormal_with_mean(mean_us: f64, scv: f64) -> Self {
+        assert!(mean_us > 0.0, "mean must be positive");
+        assert!(scv > 0.0, "scv must be positive");
+        // For lognormal: mean = exp(mu + sigma^2/2), scv = exp(sigma^2) - 1.
+        let sigma2 = (1.0 + scv).ln();
+        let mu = mean_us.ln() - sigma2 / 2.0;
+        ServiceTimeDist::LogNormal {
+            mu,
+            sigma: sigma2.sqrt(),
+        }
+    }
+
+    /// Bimodal mixture.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < lo_us <= hi_us` and `p_lo` is a probability.
+    pub fn bimodal(lo_us: f64, hi_us: f64, p_lo: f64) -> Self {
+        assert!(lo_us > 0.0 && hi_us >= lo_us, "need 0 < lo <= hi");
+        assert!((0.0..=1.0).contains(&p_lo), "p_lo must be a probability");
+        ServiceTimeDist::Bimodal { lo_us, hi_us, p_lo }
+    }
+
+    /// Point mass at `value_us`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `value_us >= 0`.
+    pub fn constant(value_us: f64) -> Self {
+        assert!(value_us >= 0.0, "value must be non-negative");
+        ServiceTimeDist::Constant { value_us }
+    }
+
+    /// Draws one service time in microseconds (always > 0 except for
+    /// `Constant { 0 }`).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match *self {
+            ServiceTimeDist::Exponential { mean_us } => {
+                sample_exponential(rng, mean_us)
+            }
+            ServiceTimeDist::LogNormal { mu, sigma } => {
+                (mu + sigma * sample_standard_normal(rng)).exp()
+            }
+            ServiceTimeDist::Bimodal { lo_us, hi_us, p_lo } => {
+                if rng.gen::<f64>() < p_lo {
+                    lo_us
+                } else {
+                    hi_us
+                }
+            }
+            ServiceTimeDist::Constant { value_us } => value_us,
+        }
+    }
+
+    /// Analytic mean of the distribution, in microseconds.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            ServiceTimeDist::Exponential { mean_us } => mean_us,
+            ServiceTimeDist::LogNormal { mu, sigma } => (mu + sigma * sigma / 2.0).exp(),
+            ServiceTimeDist::Bimodal { lo_us, hi_us, p_lo } => {
+                p_lo * lo_us + (1.0 - p_lo) * hi_us
+            }
+            ServiceTimeDist::Constant { value_us } => value_us,
+        }
+    }
+
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ServiceTimeDist::Exponential { .. } => "exponential",
+            ServiceTimeDist::LogNormal { .. } => "lognormal",
+            ServiceTimeDist::Bimodal { .. } => "bimodal",
+            ServiceTimeDist::Constant { .. } => "constant",
+        }
+    }
+}
+
+impl std::fmt::Display for ServiceTimeDist {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}(mean={:.1}us)", self.name(), self.mean())
+    }
+}
+
+/// Exponential sample with the given mean via inverse CDF.
+pub fn sample_exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    // 1 - U in (0, 1]: avoids ln(0).
+    let u: f64 = 1.0 - rng.gen::<f64>();
+    -mean * u.ln()
+}
+
+/// Standard normal sample via Box–Muller.
+pub fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = 1.0 - rng.gen::<f64>(); // (0, 1]
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Geometric-like sample: number of successes before exceeding `p`,
+/// clamped to `max`. Used for RPC fan-out counts.
+pub fn sample_geometric<R: Rng + ?Sized>(rng: &mut R, p_continue: f64, max: u32) -> u32 {
+    debug_assert!((0.0..1.0).contains(&p_continue));
+    let mut n = 0;
+    while n < max && rng.gen::<f64>() < p_continue {
+        n += 1;
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(1234)
+    }
+
+    fn empirical_mean(d: ServiceTimeDist, n: usize) -> f64 {
+        let mut r = rng();
+        (0..n).map(|_| d.sample(&mut r)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let d = ServiceTimeDist::exponential(100.0);
+        let m = empirical_mean(d, 100_000);
+        assert!((m - 100.0).abs() < 2.0, "empirical mean {m}");
+    }
+
+    #[test]
+    fn lognormal_mean_converges() {
+        let d = ServiceTimeDist::lognormal_with_mean(100.0, 1.0);
+        assert!((d.mean() - 100.0).abs() < 1e-9);
+        let m = empirical_mean(d, 200_000);
+        assert!((m - 100.0).abs() < 3.0, "empirical mean {m}");
+    }
+
+    #[test]
+    fn bimodal_mixture_weights() {
+        let d = ServiceTimeDist::bimodal(10.0, 1000.0, 0.9);
+        assert!((d.mean() - (0.9 * 10.0 + 0.1 * 1000.0)).abs() < 1e-9);
+        let mut r = rng();
+        let longs = (0..100_000)
+            .filter(|_| d.sample(&mut r) > 500.0)
+            .count();
+        let frac = longs as f64 / 100_000.0;
+        assert!((frac - 0.1).abs() < 0.01, "long fraction {frac}");
+    }
+
+    #[test]
+    fn samples_are_positive() {
+        let mut r = rng();
+        for d in [
+            ServiceTimeDist::exponential(5.0),
+            ServiceTimeDist::lognormal_with_mean(5.0, 4.0),
+            ServiceTimeDist::bimodal(1.0, 2.0, 0.5),
+        ] {
+            for _ in 0..10_000 {
+                assert!(d.sample(&mut r) > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn lognormal_has_heavier_tail_than_exponential() {
+        let exp = ServiceTimeDist::exponential(100.0);
+        let lgn = ServiceTimeDist::lognormal_with_mean(100.0, 4.0);
+        let mut r = rng();
+        let p999 = |d: ServiceTimeDist, r: &mut SmallRng| {
+            let mut v: Vec<f64> = (0..50_000).map(|_| d.sample(r)).collect();
+            v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            v[(v.len() as f64 * 0.999) as usize]
+        };
+        assert!(p999(lgn, &mut r) > p999(exp, &mut r));
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let d = ServiceTimeDist::constant(42.0);
+        let mut r = rng();
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut r), 42.0);
+        }
+    }
+
+    #[test]
+    fn geometric_bounded() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(sample_geometric(&mut r, 0.9, 5) <= 5);
+        }
+        // With p=0 the count is always 0.
+        assert_eq!(sample_geometric(&mut r, 0.0, 5), 0);
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut r = rng();
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| sample_standard_normal(&mut r)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn bad_mean_rejected() {
+        ServiceTimeDist::exponential(0.0);
+    }
+
+    #[test]
+    fn display() {
+        let d = ServiceTimeDist::exponential(10.0);
+        assert!(format!("{d}").contains("exponential"));
+    }
+}

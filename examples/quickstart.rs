@@ -1,0 +1,55 @@
+//! Quickstart: simulate one uManycore server under a SocialNetwork load
+//! and print the latency digest.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use um_arch::MachineConfig;
+use umanycore::{SimConfig, SystemSim, Workload};
+
+fn main() {
+    // A 1024-core uManycore package (8-core villages, 4 villages per
+    // cluster, 32 clusters, leaf-spine ICN, hardware scheduling and
+    // hardware context switching), serving the eight-service SocialNetwork
+    // mix at 10K requests per second.
+    let config = SimConfig {
+        machine: MachineConfig::umanycore(),
+        workload: Workload::social_mix(),
+        rps_per_server: 10_000.0,
+        horizon_us: 100_000.0, // 100 ms of arrivals
+        warmup_us: 10_000.0,
+        seed: 7,
+        ..SimConfig::default()
+    };
+
+    let report = SystemSim::new(config).run();
+
+    println!("completed requests : {}", report.completed);
+    println!("recorded (post-warmup): {}", report.recorded);
+    println!("average latency    : {:8.1} us", report.avg_us());
+    println!("P99 tail latency   : {:8.1} us", report.tail_us());
+    println!("tail-to-average    : {:8.2}x", report.tail_to_avg());
+    println!("core utilization   : {:8.3}", report.utilization);
+    println!("context switches   : {}", report.ctx_switches);
+    println!("ICN messages       : {}", report.icn_messages);
+
+    // Compare against the conventional iso-power ServerClass machine.
+    let server_class = SystemSim::new(SimConfig {
+        machine: MachineConfig::server_class_iso_power(),
+        workload: Workload::social_mix(),
+        rps_per_server: 10_000.0,
+        horizon_us: 100_000.0,
+        warmup_us: 10_000.0,
+        seed: 7,
+        ..SimConfig::default()
+    })
+    .run();
+
+    println!();
+    println!(
+        "vs 40-core ServerClass: {:.1}x lower average, {:.1}x lower tail",
+        server_class.avg_us() / report.avg_us(),
+        server_class.tail_us() / report.tail_us()
+    );
+}

@@ -1,0 +1,22 @@
+//! Umbrella crate for the uManycore reproduction workspace.
+//!
+//! This crate exists to host the repository-level examples
+//! (`examples/quickstart.rs`, …) and integration tests (`tests/`), which
+//! exercise the public APIs of every member crate together. Library users
+//! should depend on the individual crates instead:
+//!
+//! - [`umanycore`] — the full-system simulator and experiment drivers;
+//! - [`um_arch`] — machine configurations and the power/area model;
+//! - [`um_workload`] — microservice workload generation;
+//! - [`um_net`] / [`um_mem`] / [`um_sched`] — interconnect, memory-system
+//!   and scheduling substrates;
+//! - [`um_sim`] / [`um_stats`] — the discrete-event engine and statistics.
+
+pub use um_arch;
+pub use um_mem;
+pub use um_net;
+pub use um_sched;
+pub use um_sim;
+pub use um_stats;
+pub use um_workload;
+pub use umanycore;

@@ -1,0 +1,101 @@
+//! Integration tests for the §2-§3 characterization pipeline: trace
+//! models, footprint sharing, cache behaviour and the Figure 1 analysis.
+
+use umanycore::experiments::motivation;
+
+/// Figure 1: the calibrated model reproduces the paper's speedups.
+#[test]
+fn fig1_matches_paper_anchors() {
+    let rows = motivation::fig1_rows();
+    let paper_mono = [1.19, 1.14, 1.16, 1.02];
+    let paper_micro = [1.02, 1.01, 1.00, 1.00];
+    for (i, row) in rows.iter().enumerate() {
+        assert!(
+            (row.mono_speedup - paper_mono[i]).abs() < 0.03,
+            "{}: mono {} vs paper {}",
+            row.opt.name(),
+            row.mono_speedup,
+            paper_mono[i]
+        );
+        assert!(
+            (row.micro_speedup - paper_micro[i]).abs() < 0.02,
+            "{}: micro {} vs paper {}",
+            row.opt.name(),
+            row.micro_speedup,
+            paper_micro[i]
+        );
+    }
+}
+
+/// Figure 1 cross-check: the trace-driven measurement preserves the
+/// ordering (monoliths gain much more than microservices overall).
+#[test]
+fn fig1_measured_ordering_holds() {
+    let rows = motivation::fig1_rows_measured(42);
+    let mono_gain: f64 = rows.iter().map(|r| r.mono_speedup - 1.0).sum();
+    let micro_gain: f64 = rows.iter().map(|r| r.micro_speedup - 1.0).sum();
+    assert!(
+        mono_gain > micro_gain,
+        "monoliths should gain more: {mono_gain} vs {micro_gain}"
+    );
+}
+
+/// Figure 2's quantiles from the synthetic Alibaba model.
+#[test]
+fn fig2_quantiles() {
+    let cdf = motivation::fig2_cdf(42, 50_000);
+    let median = cdf.inverse(0.5);
+    assert!((430.0..570.0).contains(&median), "median {median}");
+    assert!(cdf.eval(1_000.0) < 0.90, "p(<=1000) too high");
+    assert!(cdf.eval(1_500.0) > 0.90, "p(<=1500) too low");
+}
+
+/// Figure 4: median utilization ~14%, P99 under ~60%.
+#[test]
+fn fig4_quantiles() {
+    let cdf = motivation::fig4_cdf(42, 50_000);
+    assert!((0.12..0.16).contains(&cdf.inverse(0.5)));
+    assert!(cdf.inverse(0.99) < 0.65);
+}
+
+/// Figure 5: median ~4.2 RPCs, ~5% with 16 or more.
+#[test]
+fn fig5_quantiles() {
+    let cdf = motivation::fig5_cdf(42, 50_000);
+    let median = cdf.inverse(0.5);
+    assert!((3.0..5.5).contains(&median), "median {median}");
+    let frac16 = 1.0 - cdf.eval(15.99);
+    assert!((0.02..0.10).contains(&frac16), "frac>=16 {frac16}");
+}
+
+/// Figure 8: sharing fractions sit in the paper's 0.78-0.99 band for
+/// instructions and high for data.
+#[test]
+fn fig8_sharing_bands() {
+    let rows = motivation::fig8_rows(42, 60);
+    for (label, s) in [
+        ("handler-handler", rows.handler_handler),
+        ("handler-init", rows.handler_init),
+    ] {
+        assert!(s.i_line > 0.75, "{label} i_line {}", s.i_line);
+        assert!(s.i_page > 0.75, "{label} i_page {}", s.i_page);
+        assert!(s.d_page > 0.5, "{label} d_page {}", s.d_page);
+        assert!(s.mean() <= 1.0);
+    }
+}
+
+/// Figure 9: L1-side hit rates are high and at least as good as the
+/// L2-side (the L1s filter the high-locality accesses).
+#[test]
+fn fig9_hit_rate_structure() {
+    let rows = motivation::fig9_rows(42, 200_000);
+    assert!(rows.i_l1_cache > 0.95, "i L1 {}", rows.i_l1_cache);
+    assert!(rows.d_l1_cache > 0.85, "d L1 {}", rows.d_l1_cache);
+    assert!(rows.d_l1_tlb > 0.95, "d L1 TLB {}", rows.d_l1_tlb);
+    assert!(
+        rows.d_l2_cache <= rows.d_l1_cache + 0.05,
+        "L2 should not look better than the filtered L1: {} vs {}",
+        rows.d_l2_cache,
+        rows.d_l1_cache
+    );
+}
