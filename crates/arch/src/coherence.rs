@@ -96,8 +96,7 @@ mod tests {
     fn village_cheaper_than_global() {
         let seg = Cycles::new(100_000);
         assert!(
-            CoherenceModel::village().overhead(seg)
-                < CoherenceModel::global_1024().overhead(seg)
+            CoherenceModel::village().overhead(seg) < CoherenceModel::global_1024().overhead(seg)
         );
         assert!(
             CoherenceModel::village().overhead_migrated(seg)

@@ -70,7 +70,10 @@ impl TopologyShape {
         clusters: usize,
     ) -> Self {
         assert!(cores_per_village > 0, "cores per village must be nonzero");
-        assert!(villages_per_cluster > 0, "villages per cluster must be nonzero");
+        assert!(
+            villages_per_cluster > 0,
+            "villages per cluster must be nonzero"
+        );
         assert!(clusters > 0, "clusters must be nonzero");
         Self {
             cores_per_village,

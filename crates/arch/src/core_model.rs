@@ -68,8 +68,7 @@ impl CoreModel {
     /// Single-thread speedup over a reference core (IPC ratio x frequency
     /// ratio).
     pub fn speedup_over(&self, reference: &CoreModel) -> f64 {
-        self.ipc_ratio_over(reference)
-            * (self.frequency.as_ghz() / reference.frequency.as_ghz())
+        self.ipc_ratio_over(reference) * (self.frequency.as_ghz() / reference.frequency.as_ghz())
     }
 
     /// Converts a compute duration expressed in *reference-core

@@ -63,12 +63,9 @@ pub fn cache_mb_per_core(config: &MachineConfig) -> f64 {
     let l1 = (h.l1i.size_bytes() + h.l1d.size_bytes()) as f64;
     let bytes = match config.kind {
         MachineKind::ServerClass => {
-            l1 + h.l2.size_bytes() as f64
-                + h.l3.map(|c| c.size_bytes() as f64).unwrap_or(0.0)
+            l1 + h.l2.size_bytes() as f64 + h.l3.map(|c| c.size_bytes() as f64).unwrap_or(0.0)
         }
-        MachineKind::ScaleOut | MachineKind::UManycore => {
-            l1 + h.l2.size_bytes() as f64 / 8.0
-        }
+        MachineKind::ScaleOut | MachineKind::UManycore => l1 + h.l2.size_bytes() as f64 / 8.0,
     };
     bytes / (1024.0 * 1024.0)
 }
@@ -102,7 +99,10 @@ fn big_cores(config: &MachineConfig) -> (usize, Option<crate::CoreModel>) {
         crate::config::VillageCores::Heterogeneous {
             big_villages,
             big_core,
-        } => (big_villages * config.shape.cores_per_village, Some(big_core)),
+        } => (
+            big_villages * config.shape.cores_per_village,
+            Some(big_core),
+        ),
         crate::config::VillageCores::Homogeneous => (0, None),
     }
 }
@@ -213,8 +213,7 @@ mod tests {
     fn umanycore_extras_are_small() {
         // The RQ/pool adders are ~3% of package power, not a dominant term.
         let um = MachineConfig::umanycore();
-        let frac = (per_core_power_watts(&um)
-            - per_core_power_watts(&MachineConfig::scaleout()))
+        let frac = (per_core_power_watts(&um) - per_core_power_watts(&MachineConfig::scaleout()))
             / per_core_power_watts(&um);
         assert!((0.0..0.10).contains(&frac), "extras fraction {frac}");
     }
@@ -241,7 +240,11 @@ mod tests {
             "ServerClass cache/core"
         );
         assert!(
-            within(cache_mb_per_core(&MachineConfig::umanycore()), 0.15625, 0.01),
+            within(
+                cache_mb_per_core(&MachineConfig::umanycore()),
+                0.15625,
+                0.01
+            ),
             "uManycore cache/core"
         );
     }

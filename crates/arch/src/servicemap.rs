@@ -111,7 +111,9 @@ mod tests {
         }
         let mut counts = HashMap::new();
         for _ in 0..300 {
-            *counts.entry(m.dispatch(1).expect("registered")).or_insert(0) += 1;
+            *counts
+                .entry(m.dispatch(1).expect("registered"))
+                .or_insert(0) += 1;
         }
         assert_eq!(counts[&2], 100);
         assert_eq!(counts[&5], 100);

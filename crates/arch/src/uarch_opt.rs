@@ -92,10 +92,10 @@ impl OptKind {
     /// (coverage x accuracy, from the respective papers' evaluations).
     fn recovery(self) -> f64 {
         match self {
-            OptKind::DPrefetcher => 0.60,    // Pythia covers most L2 data misses
+            OptKind::DPrefetcher => 0.60,     // Pythia covers most L2 data misses
             OptKind::BranchPredictor => 0.55, // perceptron vs g-share
-            OptKind::IPrefetcher => 0.75,    // I-SPY's high fetch coverage
-            OptKind::ICacheReplace => 0.12,  // Ripple: replacement only
+            OptKind::IPrefetcher => 0.75,     // I-SPY's high fetch coverage
+            OptKind::ICacheReplace => 0.12,   // Ripple: replacement only
         }
     }
 

@@ -114,8 +114,7 @@ fn bench_request_queue(c: &mut Criterion) {
 
 fn bench_fabric(c: &mut Criterion) {
     c.bench_function("fabric_enqueue_dequeue_32q", |b| {
-        let mut fabric: QueueFabric<u64> =
-            QueueFabric::new(FabricConfig::new(1024, 32, false, 7));
+        let mut fabric: QueueFabric<u64> = QueueFabric::new(FabricConfig::new(1024, 32, false, 7));
         let mut core = 0usize;
         b.iter(|| {
             fabric.enqueue(1);
@@ -125,8 +124,7 @@ fn bench_fabric(c: &mut Criterion) {
     });
 
     c.bench_function("fabric_steal_scan_1024q", |b| {
-        let mut fabric: QueueFabric<u64> =
-            QueueFabric::new(FabricConfig::new(1024, 1024, true, 8));
+        let mut fabric: QueueFabric<u64> = QueueFabric::new(FabricConfig::new(1024, 1024, true, 8));
         b.iter(|| {
             fabric.enqueue_at(0, 1);
             // Core 512's queue is empty: it must scan-steal.

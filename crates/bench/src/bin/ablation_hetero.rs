@@ -6,11 +6,12 @@
 //! the package clock and steer the heaviest-handler services to them,
 //! then measure per-app latency and the package power cost.
 
-use um_bench::{banner, scale_from_env};
 use um_arch::MachineConfig;
+use um_bench::{banner, scale_from_env};
 use um_stats::table::{f1, Table};
 use um_workload::apps::SocialNetwork;
-use umanycore::experiments::run_machine;
+use um_workload::ServiceId;
+use umanycore::experiments::{parallel, run_machine};
 use umanycore::Workload;
 
 fn main() {
@@ -21,26 +22,45 @@ fn main() {
     );
     let machines = [
         ("homogeneous", MachineConfig::umanycore()),
-        ("16 big villages", MachineConfig::umanycore_heterogeneous(16)),
-        ("32 big villages", MachineConfig::umanycore_heterogeneous(32)),
+        (
+            "16 big villages",
+            MachineConfig::umanycore_heterogeneous(16),
+        ),
+        (
+            "32 big villages",
+            MachineConfig::umanycore_heterogeneous(32),
+        ),
     ];
     let apps = SocialNetwork::new();
-    let mut t = Table::with_columns(&[
-        "app", "homogeneous p99", "16-big p99", "32-big p99",
-    ]);
-    for &root in &[SocialNetwork::CPOST, SocialNetwork::TEXT, SocialNetwork::URL_SHORT] {
+    let mut t = Table::with_columns(&["app", "homogeneous p99", "16-big p99", "32-big p99"]);
+    let roots = [
+        SocialNetwork::CPOST,
+        SocialNetwork::TEXT,
+        SocialNetwork::URL_SHORT,
+    ];
+    let points: Vec<(ServiceId, MachineConfig)> = roots
+        .iter()
+        .flat_map(|&root| machines.iter().map(move |(_, m)| (root, m.clone())))
+        .collect();
+    let tails = parallel::map(points, |_, (root, m)| {
+        run_machine(m, Workload::social_app(root), 15_000.0, scale)
+            .latency
+            .p99
+    });
+    for (&root, chunk) in roots.iter().zip(tails.chunks_exact(machines.len())) {
         let mut cells = vec![apps.profile(root).name.to_string()];
-        for (_, m) in &machines {
-            let r = run_machine(m.clone(), Workload::social_app(root), 15_000.0, scale);
-            cells.push(f1(r.latency.p99));
-        }
+        cells.extend(chunk.iter().map(|&p99| f1(p99)));
         t.row(cells);
     }
     print!("{}", t.render());
     println!();
     let mut p = Table::with_columns(&["configuration", "package power (W)", "area (mm2)"]);
     for (name, m) in &machines {
-        p.row(vec![name.to_string(), f1(m.power_watts()), f1(m.area_mm2())]);
+        p.row(vec![
+            name.to_string(),
+            f1(m.power_watts()),
+            f1(m.area_mm2()),
+        ]);
     }
     print!("{}", p.render());
     println!();

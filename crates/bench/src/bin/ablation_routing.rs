@@ -9,8 +9,9 @@ use rand::Rng;
 use um_bench::banner;
 use um_net::{LeafSpine, Network, NetworkConfig, RouteStrategy, Topology};
 use um_sim::{rng, Cycles};
-use um_stats::Samples;
 use um_stats::table::{f1, Table};
+use um_stats::Samples;
+use umanycore::experiments::parallel;
 
 fn run(strategy: RouteStrategy) -> (f64, f64) {
     let mut net = Network::new(
@@ -27,7 +28,11 @@ fn run(strategy: RouteStrategy) -> (f64, f64) {
     // backend), half is uniform; bursty departures.
     for i in 0..20_000u64 {
         let src = r.gen_range(0..n);
-        let dst = if r.gen_bool(0.5) { 0 } else { r.gen_range(0..n) };
+        let dst = if r.gen_bool(0.5) {
+            0
+        } else {
+            r.gen_range(0..n)
+        };
         let depart = Cycles::new(i * 12);
         let arrive = net.send(src, dst, 2048, depart);
         lat.record((arrive - depart).raw() as f64);
@@ -41,12 +46,15 @@ fn main() {
         "Message latency under a hotspot pattern, by ECMP strategy (cycles).",
     );
     let mut t = Table::with_columns(&["strategy", "mean", "p99"]);
-    for (name, s) in [
+    let strategies = [
         ("deterministic (single path)", RouteStrategy::Deterministic),
         ("random ECMP", RouteStrategy::RandomEcmp),
         ("least-loaded (uManycore)", RouteStrategy::LeastLoaded),
-    ] {
-        let (mean, p99) = run(s);
+    ];
+    // Each run builds its own network and RNG stream, so the three
+    // strategies are independent points.
+    let results = parallel::map(strategies.to_vec(), |_, (_, s)| run(s));
+    for ((name, _), (mean, p99)) in strategies.iter().zip(results) {
         t.row(vec![name.to_string(), f1(mean), f1(p99)]);
     }
     print!("{}", t.render());

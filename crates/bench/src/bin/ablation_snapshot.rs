@@ -28,7 +28,10 @@ fn main() {
     let mut no_pool = MemoryPool::new(1); // nothing ever fits: always cold
 
     let mut t = Table::with_columns(&["configuration", "boot (ms)", "p99 burst latency (ms)"]);
-    for (label, pool) in [("with snapshots", &mut with_pool), ("cold boots", &mut no_pool)] {
+    for (label, pool) in [
+        ("with snapshots", &mut with_pool),
+        ("cold boots", &mut no_pool),
+    ] {
         let mut boots = Samples::new();
         let mut burst = Samples::new();
         // A burst of 200 requests arrives; the first must wait for the new
@@ -40,15 +43,9 @@ fn main() {
                 burst.record(boot + k as f64 * 0.05);
             }
         }
-        t.row(vec![
-            label.to_string(),
-            f2(boots.mean()),
-            f1(burst.p99()),
-        ]);
+        t.row(vec![label.to_string(), f2(boots.mean()), f1(burst.p99())]);
     }
     print!("{}", t.render());
     println!();
-    println!(
-        "paper: boot drops from >{COLD_BOOT_MS:.0} ms to <10 ms with ~14-16 MB snapshots"
-    );
+    println!("paper: boot drops from >{COLD_BOOT_MS:.0} ms to <10 ms with ~14-16 MB snapshots");
 }

@@ -7,9 +7,10 @@
 //! (MMPP) arrivals and compares pool-backed and cold-boot autoscaling
 //! against no autoscaling at all.
 
-use um_bench::{banner, scale_from_env};
 use um_arch::MachineConfig;
+use um_bench::{banner, scale_from_env};
 use um_stats::table::{f1, Table};
+use umanycore::experiments::parallel;
 use umanycore::system::ArrivalProcess;
 use umanycore::{SimConfig, SystemSim, Workload};
 
@@ -20,6 +21,11 @@ fn main() {
         "Bursty (MMPP) SocialNetwork traffic on uManycore; small 8-entry RQs so\n\
          bursts overflow a single instance.",
     );
+    // The MMPP dwells ~220 ms in the low state and ~30 ms in bursts, so
+    // a horizon of one scale unit (200 ms) samples roughly one burst
+    // cycle and the whole comparison hinges on whether that cycle
+    // happens to burst. Run 5x longer so every configuration sees
+    // several bursts regardless of the seed.
     let run = |autoscale: bool, pool: bool| {
         let mut machine = MachineConfig::umanycore();
         machine.memory_pool = pool;
@@ -27,9 +33,9 @@ fn main() {
         SystemSim::new(SimConfig {
             machine,
             workload: Workload::social_mix(),
-            rps_per_server: 120_000.0,
+            rps_per_server: 160_000.0,
             servers: scale.servers,
-            horizon_us: scale.horizon_us,
+            horizon_us: scale.horizon_us * 5.0,
             warmup_us: scale.warmup_us,
             seed: scale.seed,
             arrivals: ArrivalProcess::Bursty,
@@ -39,14 +45,21 @@ fn main() {
         .run()
     };
     let mut t = Table::with_columns(&[
-        "configuration", "avg (us)", "p99 (us)", "boots", "RQ overflows",
+        "configuration",
+        "avg (us)",
+        "p99 (us)",
+        "boots",
+        "RQ overflows",
     ]);
-    for (name, autoscale, pool) in [
+    let configs = [
         ("no autoscaling", false, true),
         ("autoscale, cold boots", true, false),
         ("autoscale + snapshot pool", true, true),
-    ] {
-        let r = run(autoscale, pool);
+    ];
+    let reports = parallel::map(configs.to_vec(), |_, (_, autoscale, pool)| {
+        run(autoscale, pool)
+    });
+    for ((name, _, _), r) in configs.iter().zip(reports) {
         t.row(vec![
             name.to_string(),
             f1(r.latency.mean),

@@ -5,10 +5,10 @@
 //! Paper context: §3.3 (requests spend most of their time blocked; median
 //! CPU utilization per request ~14%) and Table 1's overhead sources.
 
-use um_bench::{banner, scale_from_env};
 use um_arch::MachineConfig;
+use um_bench::{banner, scale_from_env};
 use um_stats::table::{f1, Table};
-use umanycore::experiments::run_machine;
+use umanycore::experiments::{parallel, run_machine};
 use umanycore::Workload;
 
 fn main() {
@@ -18,14 +18,21 @@ fn main() {
         "Mean microseconds per completed invocation at 10K RPS (SocialNetwork mix).",
     );
     let mut t = Table::with_columns(&[
-        "machine", "on-core", "queued", "blocked", "CPU util/request",
+        "machine",
+        "on-core",
+        "queued",
+        "blocked",
+        "CPU util/request",
     ]);
-    for (name, machine) in [
+    let machines = [
         ("ServerClass-40", MachineConfig::server_class_iso_power()),
         ("ScaleOut", MachineConfig::scaleout()),
         ("uManycore", MachineConfig::umanycore()),
-    ] {
-        let r = run_machine(machine, Workload::social_mix(), 10_000.0, scale);
+    ];
+    let reports = parallel::map(machines.to_vec(), |_, (_, machine)| {
+        run_machine(machine, Workload::social_mix(), 10_000.0, scale)
+    });
+    for ((name, _), r) in machines.iter().zip(reports) {
         let cpu = r.cpu_per_invocation.mean;
         let queued = r.queued_per_invocation.mean;
         let blocked = r.blocked_per_invocation.mean;

@@ -6,10 +6,11 @@
 //! 15.5x higher throughput than the iso-power ServerClass cluster
 //! (averages over the loads).
 
-use um_bench::{banner, scale_from_env};
 use um_arch::MachineConfig;
+use um_bench::{banner, scale_from_env};
 use um_stats::summary::geomean;
 use um_stats::table::{f1, Table};
+use umanycore::experiments::parallel;
 use umanycore::{SimConfig, SystemSim, Workload};
 
 fn main() {
@@ -19,31 +20,40 @@ fn main() {
         "Cluster of 10 servers",
         "End-to-end latency of 10-server clusters under the SocialNetwork mix.",
     );
-    let mut t = Table::with_columns(&[
-        "machine", "load", "avg (us)", "p99 (us)", "cluster util",
-    ]);
+    let mut t = Table::with_columns(&["machine", "load", "avg (us)", "p99 (us)", "cluster util"]);
     let mut avg_ratio = Vec::new();
     let mut tail_ratio = Vec::new();
-    for rps in [5_000.0, 10_000.0, 15_000.0] {
-        let mut tails = Vec::new();
-        let mut avgs = Vec::new();
-        for (name, machine) in [
-            ("ServerClass-40", MachineConfig::server_class_iso_power()),
-            ("ServerClass-128", MachineConfig::server_class_iso_area()),
-            ("ScaleOut", MachineConfig::scaleout()),
-            ("uManycore", MachineConfig::umanycore()),
-        ] {
-            let r = SystemSim::new(SimConfig {
-                machine,
-                workload: Workload::social_mix(),
-                rps_per_server: rps,
-                servers: scale.servers,
-                horizon_us: scale.horizon_us,
-                warmup_us: scale.warmup_us,
-                seed: scale.seed,
-                ..SimConfig::default()
-            })
-            .run();
+    let loads = [5_000.0, 10_000.0, 15_000.0];
+    let names = ["ServerClass-40", "ServerClass-128", "ScaleOut", "uManycore"];
+    let variants = || {
+        [
+            MachineConfig::server_class_iso_power(),
+            MachineConfig::server_class_iso_area(),
+            MachineConfig::scaleout(),
+            MachineConfig::umanycore(),
+        ]
+    };
+    // All 12 cluster runs in parallel; the four machines at one load
+    // share the seed so the headline ratios stay paired.
+    let points: Vec<(f64, MachineConfig)> = loads
+        .iter()
+        .flat_map(|&rps| variants().map(|m| (rps, m)))
+        .collect();
+    let reports = parallel::map(points, |_, (rps, machine)| {
+        SystemSim::new(SimConfig {
+            machine,
+            workload: Workload::social_mix(),
+            rps_per_server: rps,
+            servers: scale.servers,
+            horizon_us: scale.horizon_us,
+            warmup_us: scale.warmup_us,
+            seed: scale.seed,
+            ..SimConfig::default()
+        })
+        .run()
+    });
+    for (&rps, chunk) in loads.iter().zip(reports.chunks_exact(names.len())) {
+        for (name, r) in names.iter().zip(chunk) {
             t.row(vec![
                 name.to_string(),
                 format!("{:.0}K/srv", rps / 1000.0),
@@ -51,11 +61,9 @@ fn main() {
                 f1(r.latency.p99),
                 format!("{:.3}", r.utilization),
             ]);
-            avgs.push(r.latency.mean);
-            tails.push(r.latency.p99);
         }
-        avg_ratio.push(avgs[0] / avgs[3]);
-        tail_ratio.push(tails[0] / tails[3]);
+        avg_ratio.push(chunk[0].latency.mean / chunk[3].latency.mean);
+        tail_ratio.push(chunk[0].latency.p99 / chunk[3].latency.p99);
     }
     print!("{}", t.render());
     println!();

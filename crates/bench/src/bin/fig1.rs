@@ -17,7 +17,13 @@ fn main() {
          trace-driven cross-check below.",
     );
     let rows = motivation::fig1_rows();
-    let mut t = Table::with_columns(&["optimization", "Mono baseline", "Mono optimized", "Micro baseline", "Micro optimized"]);
+    let mut t = Table::with_columns(&[
+        "optimization",
+        "Mono baseline",
+        "Mono optimized",
+        "Micro baseline",
+        "Micro optimized",
+    ]);
     for r in &rows {
         t.row(vec![
             r.opt.name().to_string(),
@@ -29,14 +35,16 @@ fn main() {
     }
     print!("{}", t.render());
     println!();
-    println!(
-        "paper: Mono 1.19 / 1.14 / 1.16 / 1.02 ; Micro 1.02 / 1.01 / 1.00 / 1.00"
-    );
+    println!("paper: Mono 1.19 / 1.14 / 1.16 / 1.02 ; Micro 1.02 / 1.01 / 1.00 / 1.00");
     println!();
     println!("cross-check from trace-driven cache simulation (coarser, ordering only):");
     let mut t2 = Table::with_columns(&["optimization", "Mono optimized", "Micro optimized"]);
     for r in motivation::fig1_rows_measured(scale.seed) {
-        t2.row(vec![r.opt.name().to_string(), f3(r.mono_speedup), f3(r.micro_speedup)]);
+        t2.row(vec![
+            r.opt.name().to_string(),
+            f3(r.mono_speedup),
+            f3(r.micro_speedup),
+        ]);
     }
     print!("{}", t2.render());
 }

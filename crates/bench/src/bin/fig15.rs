@@ -7,8 +7,7 @@
 use um_bench::{banner, scale_from_env};
 use um_stats::summary::geomean;
 use um_stats::table::{f2, Table};
-use um_workload::apps::SocialNetwork;
-use umanycore::experiments::evaluation::fig15_row;
+use umanycore::experiments::evaluation::fig15_grid;
 
 fn main() {
     let scale = scale_from_env();
@@ -16,12 +15,9 @@ fn main() {
         "Figure 15",
         "Cumulative tail-latency reduction over ScaleOut at 15K RPS.",
     );
-    let mut t = Table::with_columns(&[
-        "app", "+Villages", "+Leaf-spine", "+HW-Sched", "+HW-CtxSw",
-    ]);
+    let mut t = Table::with_columns(&["app", "+Villages", "+Leaf-spine", "+HW-Sched", "+HW-CtxSw"]);
     let mut per_stage: Vec<Vec<f64>> = vec![Vec::new(); 4];
-    for &root in &SocialNetwork::ALL {
-        let row = fig15_row(root, 15_000.0, scale);
+    for row in fig15_grid(15_000.0, scale) {
         t.row(vec![
             row.app.to_string(),
             f2(row.reductions[0]),

@@ -15,7 +15,11 @@ fn main() {
         println!("-- load {:.0}K RPS --", rps / 1000.0);
         let grid = app_grid(rps, scale);
         let mut t = Table::with_columns(&[
-            "app", "ServerClass(ms)", "ServerClass", "ScaleOut", "uManycore",
+            "app",
+            "ServerClass(ms)",
+            "ServerClass",
+            "ScaleOut",
+            "uManycore",
         ]);
         let mut sc_over_um = Vec::new();
         let mut so_over_um = Vec::new();

@@ -30,7 +30,11 @@ fn main() {
         }
     }
     let mut t = Table::with_columns(&[
-        "app", "ServerClass(abs)", "ServerClass", "ScaleOut", "uManycore",
+        "app",
+        "ServerClass(abs)",
+        "ServerClass",
+        "ScaleOut",
+        "uManycore",
     ]);
     let mut um_norm = Vec::new();
     let mut so_norm = Vec::new();

@@ -8,8 +8,7 @@
 use um_bench::{banner, scale_from_env};
 use um_stats::summary::geomean;
 use um_stats::table::{f1, Table};
-use um_workload::apps::SocialNetwork;
-use umanycore::experiments::evaluation::fig18_row;
+use umanycore::experiments::evaluation::fig18_grid;
 
 fn main() {
     let scale = scale_from_env();
@@ -19,12 +18,15 @@ fn main() {
          uManycore values in KRPS as annotations.",
     );
     let mut t = Table::with_columns(&[
-        "app", "uManycore(KRPS)", "ServerClass", "ScaleOut", "uManycore",
+        "app",
+        "uManycore(KRPS)",
+        "ServerClass",
+        "ScaleOut",
+        "uManycore",
     ]);
     let mut vs_sc = Vec::new();
     let mut vs_so = Vec::new();
-    for &root in &SocialNetwork::ALL {
-        let row = fig18_row(root, scale, 512_000.0);
+    for row in fig18_grid(scale, 512_000.0) {
         let sc = row.server_class.max_rps;
         let so = row.scaleout.max_rps;
         let um = row.umanycore.max_rps;

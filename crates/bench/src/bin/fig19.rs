@@ -6,11 +6,10 @@
 //! services prefer larger villages, call-heavy services prefer many small
 //! villages; the default has the lowest overall tail.
 
+use um_arch::TopologyShape;
 use um_bench::{banner, scale_from_env};
 use um_stats::table::{f2, Table};
-use um_arch::TopologyShape;
-use um_workload::apps::SocialNetwork;
-use umanycore::experiments::evaluation::fig19_row;
+use umanycore::experiments::evaluation::fig19_grid;
 
 fn main() {
     let scale = scale_from_env();
@@ -27,8 +26,7 @@ fn main() {
         cols.push(l);
     }
     let mut t = Table::with_columns(&cols);
-    for &root in &SocialNetwork::ALL {
-        let row = fig19_row(root, 15_000.0, scale);
+    for row in fig19_grid(15_000.0, scale) {
         let mut cells = vec![row.app.to_string()];
         cells.extend(row.norm_tails.iter().map(|&v| f2(v)));
         t.row(cells);

@@ -18,7 +18,11 @@ fn main() {
     );
     let rows = fig20_rows(scale, &[5_000.0, 10_000.0, 15_000.0], 100.0);
     let mut t = Table::with_columns(&[
-        "workload", "ServerClass(us)", "ServerClass", "ScaleOut", "uManycore",
+        "workload",
+        "ServerClass(us)",
+        "ServerClass",
+        "ScaleOut",
+        "uManycore",
     ]);
     let mut vs_sc = Vec::new();
     let mut vs_so = Vec::new();

@@ -17,7 +17,11 @@ fn main() {
     );
     let rows = motivation::fig3_rows(scale, 50_000.0);
     let mut t = Table::with_columns(&[
-        "queues", "avg (us)", "tail (us)", "avg+steal (us)", "tail+steal (us)",
+        "queues",
+        "avg (us)",
+        "tail (us)",
+        "avg+steal (us)",
+        "tail+steal (us)",
     ]);
     for r in &rows {
         t.row(vec![

@@ -37,6 +37,8 @@ fn main() {
     }
     print!("{}", t.render());
     println!();
-    println!("markers: HW target 128-256 | Shenango 1024 | Shinjuku 1536 | ZygOS 2048 | Linux ~5000");
+    println!(
+        "markers: HW target 128-256 | Shenango 1024 | Shinjuku 1536 | ZygOS 2048 | Linux ~5000"
+    );
     println!("paper: <=256 cycles ~ flat; 2K cycles 13-23x at 50K; 5-8K cycles 26-38x at 50K");
 }

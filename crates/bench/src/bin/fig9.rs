@@ -10,7 +10,10 @@ use umanycore::experiments::motivation;
 
 fn main() {
     let scale = scale_from_env();
-    banner("Figure 9", "TLB and cache hit rates, data and instruction sides.");
+    banner(
+        "Figure 9",
+        "TLB and cache hit rates, data and instruction sides.",
+    );
     let r = motivation::fig9_rows(scale.seed, 400_000);
     let mut t = Table::with_columns(&["structure", "Data", "Instructions"]);
     t.row(vec!["L1 TLB".into(), f3(r.d_l1_tlb), f3(r.i_l1_tlb)]);

@@ -17,7 +17,10 @@ fn main() {
     );
     let rows = iso_area_rows(scale, &LOADS);
     let mut t = Table::with_columns(&[
-        "load", "ServerClass-128 tail (us)", "ScaleOut tail (us)", "uManycore tail (us)",
+        "load",
+        "ServerClass-128 tail (us)",
+        "ScaleOut tail (us)",
+        "uManycore tail (us)",
     ]);
     let mut ratios = Vec::new();
     for r in &rows {

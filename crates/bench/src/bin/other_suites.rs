@@ -3,12 +3,12 @@
 //! comparison on the TrainTicket booking path and reports the same
 //! normalized tails.
 
-use um_bench::{banner, scale_from_env};
 use um_arch::MachineConfig;
+use um_bench::{banner, scale_from_env};
 use um_stats::summary::geomean;
 use um_stats::table::{f1, f2, Table};
 use um_workload::trainticket::TrainTicket;
-use umanycore::experiments::run_machine;
+use umanycore::experiments::{parallel, run_machine};
 use umanycore::Workload;
 
 fn main() {
@@ -19,36 +19,45 @@ fn main() {
     );
     let apps = TrainTicket::new();
     let mut t = Table::with_columns(&[
-        "app", "ServerClass(ms)", "ServerClass", "ScaleOut", "uManycore",
+        "app",
+        "ServerClass(ms)",
+        "ServerClass",
+        "ScaleOut",
+        "uManycore",
     ]);
     let mut reductions = Vec::new();
-    for &root in &TrainTicket::ALL {
-        let sc = run_machine(
+    let variants = || {
+        [
             MachineConfig::server_class_iso_power(),
-            Workload::train_app(root),
-            10_000.0,
-            scale,
-        );
-        let so = run_machine(
             MachineConfig::scaleout(),
-            Workload::train_app(root),
-            10_000.0,
-            scale,
-        );
-        let um = run_machine(
             MachineConfig::umanycore(),
-            Workload::train_app(root),
+        ]
+    };
+    // All app x machine points in parallel; the three machines of one
+    // app share the seed so the normalization is paired.
+    let points: Vec<(usize, MachineConfig)> = (0..TrainTicket::ALL.len())
+        .flat_map(|a| variants().map(|m| (a, m)))
+        .collect();
+    let tails = parallel::map(points, |_, (a, machine)| {
+        run_machine(
+            machine,
+            Workload::train_app(TrainTicket::ALL[a]),
             10_000.0,
             scale,
-        );
+        )
+        .latency
+        .p99
+    });
+    for (&root, chunk) in TrainTicket::ALL.iter().zip(tails.chunks_exact(3)) {
+        let (sc, so, um) = (chunk[0], chunk[1], chunk[2]);
         t.row(vec![
             apps.profile(root).name.to_string(),
-            f1(sc.latency.p99 / 1000.0),
+            f1(sc / 1000.0),
             "1.00".to_string(),
-            f2(so.latency.p99 / sc.latency.p99),
-            f2(um.latency.p99 / sc.latency.p99),
+            f2(so / sc),
+            f2(um / sc),
         ]);
-        reductions.push(sc.latency.p99 / um.latency.p99);
+        reductions.push(sc / um);
     }
     print!("{}", t.render());
     println!();

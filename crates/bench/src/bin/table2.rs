@@ -1,15 +1,26 @@
 //! Table 2: architectural parameters used in the evaluation, as encoded by
 //! `um-arch::MachineConfig`, plus the derived area/power figures.
 
+use um_arch::MachineConfig;
 use um_bench::banner;
 use um_stats::table::{f1, Table};
-use um_arch::MachineConfig;
 
 fn main() {
-    banner("Table 2", "Architectural parameters of the evaluated machines.");
+    banner(
+        "Table 2",
+        "Architectural parameters of the evaluated machines.",
+    );
     let mut t = Table::with_columns(&[
-        "machine", "cores", "issue", "ROB", "GHz", "ICN", "ctx switch", "sched",
-        "area mm2", "power W",
+        "machine",
+        "cores",
+        "issue",
+        "ROB",
+        "GHz",
+        "ICN",
+        "ctx switch",
+        "sched",
+        "area mm2",
+        "power W",
     ]);
     for m in [
         MachineConfig::server_class_iso_power(),
@@ -25,7 +36,12 @@ fn main() {
             format!("{:.1}", m.core.frequency.as_ghz()),
             format!("{:?}", m.icn),
             m.ctx_switch.to_string(),
-            if m.hw_scheduling { "hardware" } else { "software" }.to_string(),
+            if m.hw_scheduling {
+                "hardware"
+            } else {
+                "software"
+            }
+            .to_string(),
             f1(m.area_mm2()),
             f1(m.power_watts()),
         ]);

@@ -6,8 +6,8 @@
 //! UM_SCALE=quick cargo run --release -p um-bench --bin validate
 //! ```
 
-use um_bench::{banner, scale_from_env};
 use um_arch::MachineConfig;
+use um_bench::{banner, scale_from_env};
 use um_stats::summary::geomean;
 use umanycore::experiments::{evaluation, motivation};
 

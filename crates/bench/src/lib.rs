@@ -6,24 +6,40 @@
 //! cargo run --release -p um-bench --bin fig14
 //! ```
 //!
-//! Binaries honour two environment variables:
+//! Binaries honour three environment variables:
 //!
 //! - `UM_SCALE`: `quick` (seconds per figure, noisier) or `full`
 //!   (default; the scale used for EXPERIMENTS.md).
 //! - `UM_SEED`: master seed (default 42).
+//! - `UM_THREADS`: sweep worker-pool size (default: all cores; `1`
+//!   forces serial execution). Results are bit-identical at any value.
 
 use umanycore::experiments::Scale;
 
 /// Reads the run scale from `UM_SCALE`/`UM_SEED`.
 pub fn scale_from_env() -> Scale {
-    let mut scale = match std::env::var("UM_SCALE").as_deref() {
-        Ok("quick") => Scale::quick(),
+    scale_from_values(
+        std::env::var("UM_SCALE").ok().as_deref(),
+        std::env::var("UM_SEED").ok().as_deref(),
+    )
+}
+
+/// [`scale_from_env`] with the environment values passed explicitly, so
+/// tests can exercise the parsing without depending on (or mutating)
+/// process-global state.
+///
+/// # Panics
+///
+/// Panics when `seed` is set but not an integer.
+pub fn scale_from_values(scale: Option<&str>, seed: Option<&str>) -> Scale {
+    let mut out = match scale {
+        Some("quick") => Scale::quick(),
         _ => Scale::default(),
     };
-    if let Ok(seed) = std::env::var("UM_SEED") {
-        scale.seed = seed.parse().expect("UM_SEED must be an integer");
+    if let Some(seed) = seed {
+        out.seed = seed.parse().expect("UM_SEED must be an integer");
     }
-    scale
+    out
 }
 
 /// Prints the standard figure header.
@@ -39,8 +55,32 @@ mod tests {
 
     #[test]
     fn default_scale_is_full() {
-        // The test environment does not set UM_SCALE.
-        let s = scale_from_env();
+        let s = scale_from_values(None, None);
+        assert_eq!(s, Scale::default());
         assert!(s.horizon_us >= Scale::quick().horizon_us);
+    }
+
+    #[test]
+    fn quick_scale_selected_by_value() {
+        assert_eq!(scale_from_values(Some("quick"), None), Scale::quick());
+        // Unknown values fall back to the full scale.
+        assert_eq!(scale_from_values(Some("huge"), None), Scale::default());
+    }
+
+    #[test]
+    fn seed_override_applies() {
+        let s = scale_from_values(None, Some("7"));
+        assert_eq!(s.seed, 7);
+        assert_eq!(
+            Scale { seed: 42, ..s },
+            Scale::default(),
+            "seed is the only field UM_SEED changes"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "UM_SEED must be an integer")]
+    fn non_integer_seed_rejected() {
+        scale_from_values(None, Some("forty-two"));
     }
 }

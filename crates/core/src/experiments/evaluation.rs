@@ -1,13 +1,13 @@
 //! Drivers for the evaluation figures (§6).
 
-use super::{run_machine, Scale};
+use super::{parallel, run_machine, Scale};
 use crate::qos::{self, QosResult};
 use crate::report::RunReport;
 use crate::system::SimConfig;
 use crate::workload::Workload;
 use um_arch::config::{CoherenceDomain, IcnKind, MachineConfig, TopologyShape};
 use um_sched::CtxSwitchModel;
-use um_sim::Cycles;
+use um_sim::{rng, Cycles};
 use um_workload::apps::SocialNetwork;
 use um_workload::synthetic::SyntheticWorkload;
 use um_workload::ServiceId;
@@ -77,25 +77,59 @@ impl AppRow {
 }
 
 /// Runs one app at one load on all three machines (a Figure 14/16/17
-/// cell).
+/// cell), fanned out across the sweep worker pool.
+///
+/// The three machines share the row's seed (common random numbers), so
+/// the normalized bars compare machines on the same arrival draws.
 pub fn app_row(root: ServiceId, rps: f64, scale: Scale) -> AppRow {
     let apps = SocialNetwork::new();
     let name = apps.profile(root).name;
-    let [(_, sc), (_, so), (_, um)] = machines();
+    let reports = parallel::map(machines().to_vec(), |_, (_, machine)| {
+        run_machine(machine, Workload::social_app(root), rps, scale)
+    });
+    let [sc, so, um]: [RunReport; 3] = reports.try_into().expect("three machines");
     AppRow {
         app: name,
         rps,
-        server_class: run_machine(sc, Workload::social_app(root), rps, scale),
-        scaleout: run_machine(so, Workload::social_app(root), rps, scale),
-        umanycore: run_machine(um, Workload::social_app(root), rps, scale),
+        server_class: sc,
+        scaleout: so,
+        umanycore: um,
     }
 }
 
-/// Runs the full Figure 14/16/17 grid at one load.
+/// Runs the full Figure 14/16/17 grid at one load: 8 apps x 3 machines,
+/// all 24 points in parallel.
+///
+/// Each app row gets its own seed derived from `scale.seed` and the
+/// row's index, so rows are statistically independent while the three
+/// machines within a row stay seed-paired.
 pub fn app_grid(rps: f64, scale: Scale) -> Vec<AppRow> {
+    let points: Vec<(usize, MachineConfig)> = (0..SocialNetwork::ALL.len())
+        .flat_map(|a| machines().map(|(_, m)| (a, m)))
+        .collect();
+    let reports = parallel::map(points, |_, (a, machine)| {
+        let row_scale = Scale {
+            seed: rng::derive_seed(scale.seed, a as u64),
+            ..scale
+        };
+        run_machine(
+            machine,
+            Workload::social_app(SocialNetwork::ALL[a]),
+            rps,
+            row_scale,
+        )
+    });
+    let apps = SocialNetwork::new();
     SocialNetwork::ALL
         .iter()
-        .map(|&root| app_row(root, rps, scale))
+        .zip(reports.chunks_exact(3))
+        .map(|(&root, r)| AppRow {
+            app: apps.profile(root).name,
+            rps,
+            server_class: r[0].clone(),
+            scaleout: r[1].clone(),
+            umanycore: r[2].clone(),
+        })
         .collect()
 }
 
@@ -161,19 +195,57 @@ pub struct Fig15Row {
 pub fn fig15_row(root: ServiceId, rps: f64, scale: Scale) -> Fig15Row {
     let apps = SocialNetwork::new();
     let name = apps.profile(root).name;
-    let stages = ablation_stages();
-    let tails: Vec<f64> = stages
-        .iter()
-        .map(|(_, machine)| {
-            run_machine(machine.clone(), Workload::social_app(root), rps, scale)
-                .latency
-                .p99
-        })
-        .collect();
+    // All stages share the seed: the reductions are paired ratios, so
+    // every stage sees the same arrival draws.
+    let tails: Vec<f64> = parallel::map(ablation_stages(), |_, (_, machine)| {
+        run_machine(machine, Workload::social_app(root), rps, scale)
+            .latency
+            .p99
+    });
     Fig15Row {
         app: name,
         reductions: tails[1..].iter().map(|t| tails[0] / t).collect(),
     }
+}
+
+/// Runs the Figure 15 ablation for all eight apps: 8 apps x 5 stages,
+/// all 40 points in parallel.
+///
+/// Each app derives its own seed from `scale.seed`; the stages within
+/// an app share it (the reductions are paired ratios).
+pub fn fig15_grid(rps: f64, scale: Scale) -> Vec<Fig15Row> {
+    let stages = ablation_stages();
+    let points: Vec<(usize, MachineConfig)> = (0..SocialNetwork::ALL.len())
+        .flat_map(|a| {
+            stages
+                .iter()
+                .map(move |(_, m)| (a, m.clone()))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let tails = parallel::map(points, |_, (a, machine)| {
+        let row_scale = Scale {
+            seed: rng::derive_seed(scale.seed, a as u64),
+            ..scale
+        };
+        run_machine(
+            machine,
+            Workload::social_app(SocialNetwork::ALL[a]),
+            rps,
+            row_scale,
+        )
+        .latency
+        .p99
+    });
+    let apps = SocialNetwork::new();
+    SocialNetwork::ALL
+        .iter()
+        .zip(tails.chunks_exact(stages.len()))
+        .map(|(&root, t)| Fig15Row {
+            app: apps.profile(root).name,
+            reductions: t[1..].iter().map(|tail| t[0] / tail).collect(),
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------
@@ -197,8 +269,10 @@ pub struct Fig18Row {
 pub fn fig18_row(root: ServiceId, scale: Scale, hi_rps: f64) -> Fig18Row {
     let apps = SocialNetwork::new();
     let name = apps.profile(root).name;
-    let search = |machine: MachineConfig| {
-        let base = SimConfig {
+    // One sequential binary search per machine, the three searches in
+    // parallel; all share the seed so the bars are paired.
+    let bases: Vec<SimConfig> = machines()
+        .map(|(_, machine)| SimConfig {
             machine,
             workload: Workload::social_app(root),
             servers: scale.servers,
@@ -206,16 +280,49 @@ pub fn fig18_row(root: ServiceId, scale: Scale, hi_rps: f64) -> Fig18Row {
             warmup_us: scale.warmup_us,
             seed: scale.seed,
             ..SimConfig::default()
-        };
-        qos::max_qos_throughput(&base, hi_rps / 512.0, hi_rps)
-    };
-    let [(_, sc), (_, so), (_, um)] = machines();
+        })
+        .to_vec();
+    let results = qos::max_qos_throughput_many(bases, hi_rps / 512.0, hi_rps);
+    let [sc, so, um]: [QosResult; 3] = results.try_into().expect("three machines");
     Fig18Row {
         app: name,
-        server_class: search(sc),
-        scaleout: search(so),
-        umanycore: search(um),
+        server_class: sc,
+        scaleout: so,
+        umanycore: um,
     }
+}
+
+/// Runs the QoS throughput search for all eight apps: 8 apps x 3
+/// machines, all 24 searches in parallel.
+///
+/// Each app derives its own seed from `scale.seed`; the three machines
+/// within an app share it (the bars are normalized to ServerClass).
+pub fn fig18_grid(scale: Scale, hi_rps: f64) -> Vec<Fig18Row> {
+    let bases: Vec<SimConfig> = (0..SocialNetwork::ALL.len())
+        .flat_map(|a| {
+            machines().map(|(_, machine)| SimConfig {
+                machine,
+                workload: Workload::social_app(SocialNetwork::ALL[a]),
+                servers: scale.servers,
+                horizon_us: scale.horizon_us,
+                warmup_us: scale.warmup_us,
+                seed: rng::derive_seed(scale.seed, a as u64),
+                ..SimConfig::default()
+            })
+        })
+        .collect();
+    let results = qos::max_qos_throughput_many(bases, hi_rps / 512.0, hi_rps);
+    let apps = SocialNetwork::new();
+    SocialNetwork::ALL
+        .iter()
+        .zip(results.chunks_exact(3))
+        .map(|(&root, r)| Fig18Row {
+            app: apps.profile(root).name,
+            server_class: r[0],
+            scaleout: r[1],
+            umanycore: r[2],
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------
@@ -236,23 +343,57 @@ pub struct Fig19Row {
 pub fn fig19_row(root: ServiceId, rps: f64, scale: Scale) -> Fig19Row {
     let apps = SocialNetwork::new();
     let name = apps.profile(root).name;
-    let tails: Vec<f64> = TopologyShape::FIG19_SWEEP
-        .iter()
-        .map(|&shape| {
-            run_machine(
-                MachineConfig::umanycore_shaped(shape),
-                Workload::social_app(root),
-                rps,
-                scale,
-            )
-            .latency
-            .p99
-        })
-        .collect();
+    // Shapes share the seed: tails are normalized to the first shape, so
+    // every shape sees the same arrival draws.
+    let tails: Vec<f64> = parallel::map(TopologyShape::FIG19_SWEEP.to_vec(), |_, shape| {
+        run_machine(
+            MachineConfig::umanycore_shaped(shape),
+            Workload::social_app(root),
+            rps,
+            scale,
+        )
+        .latency
+        .p99
+    });
     Fig19Row {
         app: name,
         norm_tails: tails.iter().map(|t| t / tails[0]).collect(),
     }
+}
+
+/// Runs the Figure 19 shape sweep for all eight apps: 8 apps x
+/// `FIG19_SWEEP.len()` shapes, all points in parallel.
+///
+/// Each app derives its own seed from `scale.seed`; the shapes within
+/// an app share it (tails are normalized to the first shape).
+pub fn fig19_grid(rps: f64, scale: Scale) -> Vec<Fig19Row> {
+    let shapes = TopologyShape::FIG19_SWEEP;
+    let points: Vec<(usize, TopologyShape)> = (0..SocialNetwork::ALL.len())
+        .flat_map(|a| shapes.iter().map(move |&s| (a, s)))
+        .collect();
+    let tails = parallel::map(points, |_, (a, shape)| {
+        let row_scale = Scale {
+            seed: rng::derive_seed(scale.seed, a as u64),
+            ..scale
+        };
+        run_machine(
+            MachineConfig::umanycore_shaped(shape),
+            Workload::social_app(SocialNetwork::ALL[a]),
+            rps,
+            row_scale,
+        )
+        .latency
+        .p99
+    });
+    let apps = SocialNetwork::new();
+    SocialNetwork::ALL
+        .iter()
+        .zip(tails.chunks_exact(shapes.len()))
+        .map(|(&root, t)| Fig19Row {
+            app: apps.profile(root).name,
+            norm_tails: t.iter().map(|tail| tail / t[0]).collect(),
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------
@@ -274,25 +415,41 @@ pub struct Fig20Row {
     pub umanycore_norm: f64,
 }
 
-/// Runs the Figure 20 grid: three distributions x the given loads.
+/// Runs the Figure 20 grid: three distributions x the given loads, all
+/// machine runs in parallel.
+///
+/// Each (distribution, load) row derives its own seed; the three
+/// machines within a row share it so the normalization is paired.
 pub fn fig20_rows(scale: Scale, loads: &[f64], mean_service_us: f64) -> Vec<Fig20Row> {
-    let mut rows = Vec::new();
+    let mut row_meta = Vec::new();
+    let mut points = Vec::new();
     for (label, synth) in SyntheticWorkload::paper_suite(mean_service_us) {
         for &rps in loads {
-            let [(_, sc), (_, so), (_, um)] = machines();
-            let sc_r = run_machine(sc, Workload::Synthetic(synth), rps, scale);
-            let so_r = run_machine(so, Workload::Synthetic(synth), rps, scale);
-            let um_r = run_machine(um, Workload::Synthetic(synth), rps, scale);
-            rows.push(Fig20Row {
-                dist: label,
-                rps,
-                server_class_tail_us: sc_r.latency.p99,
-                scaleout_norm: so_r.latency.p99 / sc_r.latency.p99,
-                umanycore_norm: um_r.latency.p99 / sc_r.latency.p99,
-            });
+            let row = row_meta.len();
+            row_meta.push((label, rps));
+            for (_, machine) in machines() {
+                points.push((row, synth, rps, machine));
+            }
         }
     }
-    rows
+    let reports = parallel::map(points, |_, (row, synth, rps, machine)| {
+        let row_scale = Scale {
+            seed: rng::derive_seed(scale.seed, row as u64),
+            ..scale
+        };
+        run_machine(machine, Workload::Synthetic(synth), rps, row_scale)
+    });
+    row_meta
+        .iter()
+        .zip(reports.chunks_exact(3))
+        .map(|(&(label, rps), r)| Fig20Row {
+            dist: label,
+            rps,
+            server_class_tail_us: r[0].latency.p99,
+            scaleout_norm: r[1].latency.p99 / r[0].latency.p99,
+            umanycore_norm: r[2].latency.p99 / r[0].latency.p99,
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------
@@ -312,30 +469,37 @@ pub struct IsoAreaRow {
     pub umanycore_tail_us: f64,
 }
 
-/// Runs the §6.8 iso-area comparison at the given loads.
+/// Runs the §6.8 iso-area comparison at the given loads, all machine
+/// runs in parallel.
+///
+/// Each load row derives its own seed; the three machines within a row
+/// share it so the comparison is paired.
 pub fn iso_area_rows(scale: Scale, loads: &[f64]) -> Vec<IsoAreaRow> {
+    let variants = || {
+        [
+            MachineConfig::server_class_iso_area(),
+            MachineConfig::scaleout(),
+            MachineConfig::umanycore(),
+        ]
+    };
+    let points: Vec<(usize, MachineConfig)> = (0..loads.len())
+        .flat_map(|li| variants().map(|m| (li, m)))
+        .collect();
+    let reports = parallel::map(points, |_, (li, machine)| {
+        let row_scale = Scale {
+            seed: rng::derive_seed(scale.seed, li as u64),
+            ..scale
+        };
+        run_machine(machine, Workload::social_mix(), loads[li], row_scale)
+    });
     loads
         .iter()
-        .map(|&rps| {
-            let sc = run_machine(
-                MachineConfig::server_class_iso_area(),
-                Workload::social_mix(),
-                rps,
-                scale,
-            );
-            let so = run_machine(MachineConfig::scaleout(), Workload::social_mix(), rps, scale);
-            let um = run_machine(
-                MachineConfig::umanycore(),
-                Workload::social_mix(),
-                rps,
-                scale,
-            );
-            IsoAreaRow {
-                rps,
-                server_class_128_tail_us: sc.latency.p99,
-                scaleout_tail_us: so.latency.p99,
-                umanycore_tail_us: um.latency.p99,
-            }
+        .zip(reports.chunks_exact(3))
+        .map(|(&rps, r)| IsoAreaRow {
+            rps,
+            server_class_128_tail_us: r[0].latency.p99,
+            scaleout_tail_us: r[1].latency.p99,
+            umanycore_tail_us: r[2].latency.p99,
         })
         .collect()
 }

@@ -7,6 +7,7 @@
 
 pub mod evaluation;
 pub mod motivation;
+pub mod parallel;
 
 use crate::report::RunReport;
 use crate::system::{SimConfig, SystemSim};

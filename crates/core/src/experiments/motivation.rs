@@ -1,6 +1,6 @@
 //! Drivers for the motivation/characterization figures (§2–§3).
 
-use super::Scale;
+use super::{parallel, Scale};
 use crate::system::{SimConfig, SystemSim};
 use crate::workload::Workload;
 use um_arch::config::{IcnKind, MachineConfig};
@@ -9,9 +9,9 @@ use um_mem::footprint::{FootprintGenerator, FootprintProfile, SharingReport};
 use um_mem::hierarchy::{AccessKind, HierarchyConfig, MemoryHierarchy};
 use um_sched::CtxSwitchModel;
 use um_sim::{rng, Cycles};
+use um_stats::Cdf;
 use um_workload::alibaba::AlibabaModel;
 use um_workload::trace::{TraceGenerator, TraceProfile};
-use um_stats::Cdf;
 
 // ---------------------------------------------------------------------
 // Figure 1: microarchitectural optimizations on monoliths vs microservices
@@ -191,41 +191,42 @@ pub fn fig3_rows(scale: Scale, rps: f64) -> Vec<Fig3Row> {
         2,
         6,
     );
-    FIG3_QUEUES
-        .iter()
-        .map(|&queues| {
-            let run = |steal: bool| {
-                let mut machine = MachineConfig::scaleout();
-                machine.ctx_switch = CtxSwitchModel::Custom(0);
-                SystemSim::new(SimConfig {
-                    machine,
-                    workload: Workload::Synthetic(synth),
-                    rps_per_server: rps,
-                    servers: scale.servers,
-                    horizon_us: scale.horizon_us,
-                    warmup_us: scale.warmup_us,
-                    seed: scale.seed,
-                    queues_override: Some(queues),
-                    work_stealing: steal,
-                    hold_core_while_blocked: true,
-                    // Queue structure is the variable under study; ICN
-                    // contention is studied separately (Figure 7).
-                    icn_contention: false,
-                    ..SimConfig::default()
-                })
-                .run()
-            };
-            let plain = run(false);
-            let steal = run(true);
-            Fig3Row {
-                queues,
-                avg_us: plain.latency.mean,
-                tail_us: plain.latency.p99,
-                avg_steal_us: steal.latency.mean,
-                tail_steal_us: steal.latency.p99,
-            }
-        })
-        .collect()
+    // The whole figure is one paired comparison (every point is plotted
+    // against every other), so all points share `scale.seed`; the sweep
+    // fans out across queue counts, with the steal/no-steal pair for
+    // each count evaluated back-to-back on the same worker.
+    parallel::map(FIG3_QUEUES.to_vec(), |_, queues| {
+        let run = |steal: bool| {
+            let mut machine = MachineConfig::scaleout();
+            machine.ctx_switch = CtxSwitchModel::Custom(0);
+            SystemSim::new(SimConfig {
+                machine,
+                workload: Workload::Synthetic(synth),
+                rps_per_server: rps,
+                servers: scale.servers,
+                horizon_us: scale.horizon_us,
+                warmup_us: scale.warmup_us,
+                seed: scale.seed,
+                queues_override: Some(queues),
+                work_stealing: steal,
+                hold_core_while_blocked: true,
+                // Queue structure is the variable under study; ICN
+                // contention is studied separately (Figure 7).
+                icn_contention: false,
+                ..SimConfig::default()
+            })
+            .run()
+        };
+        let plain = run(false);
+        let steal = run(true);
+        Fig3Row {
+            queues,
+            avg_us: plain.latency.mean,
+            tail_us: plain.latency.p99,
+            avg_steal_us: steal.latency.mean,
+            tail_steal_us: steal.latency.p99,
+        }
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -246,40 +247,46 @@ pub struct Fig6Row {
 /// The paper's CS sweep values.
 pub const FIG6_CS: [u64; 10] = [0, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192];
 
-/// Runs the Figure 6 sweep on ScaleOut for the given loads.
+/// Runs the Figure 6 sweep on ScaleOut for the given loads, all points
+/// in parallel.
+///
+/// Each load derives its own seed; all CS values at one load share it,
+/// so the normalization to the zero-overhead run is paired (and the
+/// `cs = 0` point is exactly 1.0).
 pub fn fig6_rows(scale: Scale, loads: &[f64]) -> Vec<Fig6Row> {
-    let mut rows = Vec::new();
-    for &rps in loads {
-        let tail_at = |cs: u64| {
-            let mut machine = MachineConfig::scaleout();
-            machine.ctx_switch = CtxSwitchModel::Custom(cs);
-            SystemSim::new(SimConfig {
-                machine,
-                workload: Workload::social_mix(),
-                rps_per_server: rps,
-                servers: scale.servers,
-                horizon_us: scale.horizon_us,
-                warmup_us: scale.warmup_us,
-                seed: scale.seed,
-                // Context-switch cost is the variable under study; ICN
-                // contention is studied separately (Figure 7).
-                icn_contention: false,
-                ..SimConfig::default()
-            })
-            .run()
-            .latency
-            .p99
-        };
-        let base = tail_at(0);
-        for &cs in &FIG6_CS {
-            rows.push(Fig6Row {
-                cs_cycles: cs,
-                rps,
-                norm_tail: tail_at(cs) / base,
-            });
-        }
-    }
-    rows
+    let points: Vec<(usize, u64)> = (0..loads.len())
+        .flat_map(|li| FIG6_CS.iter().map(move |&cs| (li, cs)))
+        .collect();
+    let tails = parallel::map(points.clone(), |_, (li, cs)| {
+        let mut machine = MachineConfig::scaleout();
+        machine.ctx_switch = CtxSwitchModel::Custom(cs);
+        SystemSim::new(SimConfig {
+            machine,
+            workload: Workload::social_mix(),
+            rps_per_server: loads[li],
+            servers: scale.servers,
+            horizon_us: scale.horizon_us,
+            warmup_us: scale.warmup_us,
+            seed: rng::derive_seed(scale.seed, li as u64),
+            // Context-switch cost is the variable under study; ICN
+            // contention is studied separately (Figure 7).
+            icn_contention: false,
+            ..SimConfig::default()
+        })
+        .run()
+        .latency
+        .p99
+    });
+    // FIG6_CS[0] is 0, so each load's chunk leads with its baseline.
+    points
+        .iter()
+        .zip(&tails)
+        .map(|(&(li, cs), &tail)| Fig6Row {
+            cs_cycles: cs,
+            rps: loads[li],
+            norm_tail: tail / tails[li * FIG6_CS.len()],
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------
@@ -298,9 +305,22 @@ pub struct Fig7Row {
     pub fat_tree_norm_tail: f64,
 }
 
-/// Runs the Figure 7 sweep on ScaleOut with mesh and fat-tree ICNs.
+/// Runs the Figure 7 sweep on ScaleOut with mesh and fat-tree ICNs, all
+/// points in parallel.
+///
+/// Each load derives its own seed; the four runs at one load (two ICNs
+/// x contention on/off) share it, so each normalization is paired.
 pub fn fig7_rows(scale: Scale, loads: &[f64]) -> Vec<Fig7Row> {
-    let tail = |icn: IcnKind, rps: f64, contention: bool| {
+    const VARIANTS: [(IcnKind, bool); 4] = [
+        (IcnKind::Mesh, true),
+        (IcnKind::Mesh, false),
+        (IcnKind::FatTree, true),
+        (IcnKind::FatTree, false),
+    ];
+    let points: Vec<(usize, IcnKind, bool)> = (0..loads.len())
+        .flat_map(|li| VARIANTS.iter().map(move |&(icn, c)| (li, icn, c)))
+        .collect();
+    let tails = parallel::map(points, |_, (li, icn, contention)| {
         let mut machine = MachineConfig::scaleout();
         machine.icn = icn;
         // ICN contention is the variable under study; scheduling and
@@ -309,25 +329,25 @@ pub fn fig7_rows(scale: Scale, loads: &[f64]) -> Vec<Fig7Row> {
         SystemSim::new(SimConfig {
             machine,
             workload: Workload::social_mix(),
-            rps_per_server: rps,
+            rps_per_server: loads[li],
             servers: scale.servers,
             horizon_us: scale.horizon_us,
             warmup_us: scale.warmup_us,
-            seed: scale.seed,
+            seed: rng::derive_seed(scale.seed, li as u64),
             icn_contention: contention,
             ..SimConfig::default()
         })
         .run()
         .latency
         .p99
-    };
+    });
     loads
         .iter()
-        .map(|&rps| Fig7Row {
+        .zip(tails.chunks_exact(VARIANTS.len()))
+        .map(|(&rps, t)| Fig7Row {
             rps,
-            mesh_norm_tail: tail(IcnKind::Mesh, rps, true) / tail(IcnKind::Mesh, rps, false),
-            fat_tree_norm_tail: tail(IcnKind::FatTree, rps, true)
-                / tail(IcnKind::FatTree, rps, false),
+            mesh_norm_tail: t[0] / t[1],
+            fat_tree_norm_tail: t[2] / t[3],
         })
         .collect()
 }

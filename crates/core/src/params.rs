@@ -126,7 +126,11 @@ mod tests {
             "10K RPS utilization {}",
             busy(10_000.0)
         );
-        assert!(busy(15_000.0) > 0.6, "15K RPS utilization {}", busy(15_000.0));
+        assert!(
+            busy(15_000.0) > 0.6,
+            "15K RPS utilization {}",
+            busy(15_000.0)
+        );
     }
 
     #[test]

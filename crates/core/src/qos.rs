@@ -95,6 +95,18 @@ pub fn max_qos_throughput(base: &SimConfig, lo: f64, hi: f64) -> QosResult {
     }
 }
 
+/// Runs several independent QoS searches — one per config — across the
+/// sweep worker pool, returning results in input order.
+///
+/// Each search's internal binary search stays sequential (every probe
+/// depends on the previous verdict); the parallelism is across configs,
+/// which is how Figure 18 uses it (one search per machine per app).
+/// Results are bit-identical to calling [`max_qos_throughput`] on each
+/// config in turn.
+pub fn max_qos_throughput_many(bases: Vec<SimConfig>, lo: f64, hi: f64) -> Vec<QosResult> {
+    crate::experiments::parallel::map(bases, |_, base| max_qos_throughput(&base, lo, hi))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,5 +148,17 @@ mod tests {
     #[should_panic(expected = "invalid search range")]
     fn bad_range_rejected() {
         max_qos_throughput(&base(MachineConfig::umanycore()), 10.0, 5.0);
+    }
+
+    #[test]
+    fn many_matches_individual_searches() {
+        let bases = vec![
+            base(MachineConfig::umanycore()),
+            base(MachineConfig::server_class_iso_power()),
+        ];
+        let many = max_qos_throughput_many(bases.clone(), 1_000.0, 16_000.0);
+        for (b, m) in bases.iter().zip(&many) {
+            assert_eq!(*m, max_qos_throughput(b, 1_000.0, 16_000.0));
+        }
     }
 }

@@ -129,7 +129,14 @@ mod tests {
 
     #[test]
     fn lifecycle_flags() {
-        let mut r = Request::new(plan(2), Origin::Client { sent_at: Cycles::ZERO }, 0, 3);
+        let mut r = Request::new(
+            plan(2),
+            Origin::Client {
+                sent_at: Cycles::ZERO,
+            },
+            0,
+            3,
+        );
         assert_eq!(r.phase, Phase::Queued);
         assert!(!r.on_last_segment() || r.plan.segments.len() == 1);
         r.next_segment = 1;
@@ -145,6 +152,13 @@ mod tests {
             service: ServiceId::new(0),
             segments: vec![],
         };
-        Request::new(empty, Origin::Client { sent_at: Cycles::ZERO }, 0, 0);
+        Request::new(
+            empty,
+            Origin::Client {
+                sent_at: Cycles::ZERO,
+            },
+            0,
+            0,
+        );
     }
 }

@@ -75,9 +75,7 @@ impl Workload {
                 (0..apps.len() as u32).map(ServiceId::new).collect()
             }
             Workload::Synthetic(_) => vec![um_workload::synthetic::SYNTHETIC_SERVICE],
-            Workload::Graph { graph, .. } => {
-                (0..graph.len() as u32).map(ServiceId::new).collect()
-            }
+            Workload::Graph { graph, .. } => (0..graph.len() as u32).map(ServiceId::new).collect(),
         }
     }
 
@@ -89,9 +87,9 @@ impl Workload {
                 SocialNetwork::ALL[rng.gen_range(0..SocialNetwork::ALL.len())]
             }
             Workload::Synthetic(_) => um_workload::synthetic::SYNTHETIC_SERVICE,
-            Workload::Graph { graph, root } => root.unwrap_or_else(|| {
-                graph.roots()[rng.gen_range(0..graph.roots().len())]
-            }),
+            Workload::Graph { graph, root } => {
+                root.unwrap_or_else(|| graph.roots()[rng.gen_range(0..graph.roots().len())])
+            }
         }
     }
 
@@ -113,11 +111,7 @@ impl Workload {
     /// # Panics
     ///
     /// Panics if a synthetic workload is asked for a non-synthetic service.
-    pub fn sample_plan<R: Rng + ?Sized>(
-        &self,
-        service: ServiceId,
-        rng: &mut R,
-    ) -> RequestPlan {
+    pub fn sample_plan<R: Rng + ?Sized>(&self, service: ServiceId, rng: &mut R) -> RequestPlan {
         match self {
             Workload::SocialApp { apps, .. } | Workload::SocialMix { apps } => {
                 apps.sample_plan(service, rng)

@@ -29,7 +29,10 @@ impl CacheConfig {
     /// capacity divides evenly into `ways * line_bytes` sets.
     pub fn new(size_bytes: usize, ways: usize, line_bytes: usize) -> Self {
         assert!(size_bytes.is_power_of_two(), "size must be a power of two");
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(ways >= 1, "need at least one way");
         assert!(
             size_bytes >= ways * line_bytes,
@@ -45,7 +48,10 @@ impl CacheConfig {
             ways,
             line_bytes,
         };
-        assert!(cfg.sets().is_power_of_two(), "set count must be a power of two");
+        assert!(
+            cfg.sets().is_power_of_two(),
+            "set count must be a power of two"
+        );
         cfg
     }
 
@@ -210,8 +216,7 @@ impl Cache {
 
     /// Line-aligned base address reconstructed from a set index and tag.
     fn line_addr(&self, set: usize, tag: u64) -> u64 {
-        (tag << (self.set_shift + self.set_mask.count_ones()))
-            | ((set as u64) << self.set_shift)
+        (tag << (self.set_shift + self.set_mask.count_ones())) | ((set as u64) << self.set_shift)
     }
 
     /// Performs one access; `is_write` marks the line dirty on hit or fill.
@@ -358,7 +363,9 @@ mod tests {
         c.access(0x080, false);
         let res = c.access(0x100, false); // evicts dirty 0x000
         match res {
-            AccessResult::Miss { dirty_evict: Some(addr) } => assert_eq!(addr, 0x000),
+            AccessResult::Miss {
+                dirty_evict: Some(addr),
+            } => assert_eq!(addr, 0x000),
             other => panic!("expected dirty eviction, got {other:?}"),
         }
         assert_eq!(c.stats().writebacks, 1);
@@ -381,7 +388,12 @@ mod tests {
         c.access(0x000, true); // now dirty via hit
         c.access(0x080, false);
         let res = c.access(0x100, false);
-        assert!(matches!(res, AccessResult::Miss { dirty_evict: Some(0x000) }));
+        assert!(matches!(
+            res,
+            AccessResult::Miss {
+                dirty_evict: Some(0x000)
+            }
+        ));
     }
 
     #[test]
@@ -449,7 +461,12 @@ mod tests {
         c.access(0x000, true); // dirty
         c.access(0x080, false);
         let res = c.fill(0x100); // displaces dirty 0x000
-        assert!(matches!(res, AccessResult::Miss { dirty_evict: Some(0x000) }));
+        assert!(matches!(
+            res,
+            AccessResult::Miss {
+                dirty_evict: Some(0x000)
+            }
+        ));
         assert_eq!(c.stats().writebacks, 1);
     }
 }

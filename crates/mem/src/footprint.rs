@@ -272,8 +272,18 @@ mod tests {
         let (mut g, mut rng) = gen();
         let a = g.handler(&mut rng);
         let b = g.handler(&mut rng);
-        let a_priv: BTreeSet<u64> = a.data_lines.iter().copied().filter(|&l| l >= PRIVATE_BASE).collect();
-        let b_priv: BTreeSet<u64> = b.data_lines.iter().copied().filter(|&l| l >= PRIVATE_BASE).collect();
+        let a_priv: BTreeSet<u64> = a
+            .data_lines
+            .iter()
+            .copied()
+            .filter(|&l| l >= PRIVATE_BASE)
+            .collect();
+        let b_priv: BTreeSet<u64> = b
+            .data_lines
+            .iter()
+            .copied()
+            .filter(|&l| l >= PRIVATE_BASE)
+            .collect();
         assert!(!a_priv.is_empty());
         assert!(a_priv.is_disjoint(&b_priv));
     }

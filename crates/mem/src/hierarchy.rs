@@ -221,7 +221,11 @@ impl MemoryHierarchy {
         let mut latency = Cycles::ZERO;
 
         // Address translation.
-        let l1_tlb = if kind.is_instr() { &mut self.itlb } else { &mut self.dtlb };
+        let l1_tlb = if kind.is_instr() {
+            &mut self.itlb
+        } else {
+            &mut self.dtlb
+        };
         latency += lat.tlb1;
         if !l1_tlb.translate(addr) {
             match &mut self.tlb2 {
@@ -236,7 +240,11 @@ impl MemoryHierarchy {
         }
 
         // Cache lookup.
-        let l1 = if kind.is_instr() { &mut self.l1i } else { &mut self.l1d };
+        let l1 = if kind.is_instr() {
+            &mut self.l1i
+        } else {
+            &mut self.l1d
+        };
         latency += lat.l1;
         if l1.access(addr, kind.is_write()).is_hit() {
             return latency;
@@ -245,7 +253,11 @@ impl MemoryHierarchy {
         // demand access; the fill happens in the background).
         if self.config.prefetch_next_line {
             let next = addr + self.config.l1d.line_bytes() as u64;
-            let l1 = if kind.is_instr() { &mut self.l1i } else { &mut self.l1d };
+            let l1 = if kind.is_instr() {
+                &mut self.l1i
+            } else {
+                &mut self.l1d
+            };
             l1.fill(next);
             self.l2.fill(next);
         }
@@ -382,7 +394,10 @@ mod tests {
         let l2_hit = h.access(0x0, AccessKind::DataRead, t);
         let warm = h.access(0x0, AccessKind::DataRead, t + l2_hit);
         assert!(l2_hit > warm, "L2 hit {l2_hit} should exceed L1 hit {warm}");
-        assert!(l2_hit <= Cycles::new(2 + 2 + 24 + 150), "unexpected DRAM trip: {l2_hit}");
+        assert!(
+            l2_hit <= Cycles::new(2 + 2 + 24 + 150),
+            "unexpected DRAM trip: {l2_hit}"
+        );
     }
 
     #[test]
@@ -442,7 +457,11 @@ mod tests {
             let mut h = MemoryHierarchy::new(cfg);
             for pass in 0..20u64 {
                 for i in 0..256u64 {
-                    h.access(i * 64, AccessKind::DataRead, Cycles::new(pass * 100_000 + i));
+                    h.access(
+                        i * 64,
+                        AccessKind::DataRead,
+                        Cycles::new(pass * 100_000 + i),
+                    );
                 }
                 if pass == 0 {
                     // Steady state only: prefetching trivially halves the
@@ -453,7 +472,10 @@ mod tests {
             h.stats().l1d.hit_rate()
         };
         let gain = run(true) - run(false);
-        assert!(gain.abs() < 0.01, "resident working set gains nothing: {gain}");
+        assert!(
+            gain.abs() < 0.01,
+            "resident working set gains nothing: {gain}"
+        );
     }
 
     #[test]

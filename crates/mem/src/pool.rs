@@ -189,7 +189,11 @@ mod tests {
         p.store(1, 16 * MB).unwrap();
         let f = Frequency::ghz(2.0);
         let warm = p.boot_latency(1, f);
-        assert!(warm.as_millis(f) < 10.0, "warm boot {} ms", warm.as_millis(f));
+        assert!(
+            warm.as_millis(f) < 10.0,
+            "warm boot {} ms",
+            warm.as_millis(f)
+        );
         assert_eq!(p.hit_count(), 1);
     }
 

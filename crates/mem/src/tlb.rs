@@ -28,9 +28,18 @@ impl TlbConfig {
     /// Panics unless `entries` and `page_bytes` are powers of two and
     /// `ways` divides `entries`.
     pub fn new(entries: usize, ways: usize, page_bytes: usize) -> Self {
-        assert!(entries.is_power_of_two(), "entry count must be a power of two");
-        assert!(page_bytes.is_power_of_two(), "page size must be a power of two");
-        assert!(ways >= 1 && entries.is_multiple_of(ways), "ways must divide entries");
+        assert!(
+            entries.is_power_of_two(),
+            "entry count must be a power of two"
+        );
+        assert!(
+            page_bytes.is_power_of_two(),
+            "page size must be a power of two"
+        );
+        assert!(
+            ways >= 1 && entries.is_multiple_of(ways),
+            "ways must divide entries"
+        );
         Self {
             entries,
             ways,
@@ -131,10 +140,13 @@ mod tests {
     #[test]
     fn capacity_eviction() {
         let mut t = Tlb::new(TlbConfig::new(4, 1, 4096)); // direct-mapped, 4 entries
-        // Pages 0 and 4 conflict in a 4-set direct-mapped TLB.
+                                                          // Pages 0 and 4 conflict in a 4-set direct-mapped TLB.
         t.translate(0x0000);
         t.translate(4 * 4096);
-        assert!(!t.translate(0x0000), "conflicting page must have evicted page 0");
+        assert!(
+            !t.translate(0x0000),
+            "conflicting page must have evicted page 0"
+        );
     }
 
     #[test]

@@ -81,7 +81,10 @@ impl ExternalNetwork {
     ///
     /// Panics if `src` or `dst` is out of range.
     pub fn send(&mut self, src: usize, dst: usize, bytes: u64, depart: Cycles) -> Cycles {
-        assert!(src < self.servers && dst < self.servers, "server out of range");
+        assert!(
+            src < self.servers && dst < self.servers,
+            "server out of range"
+        );
         if src == dst {
             return depart;
         }

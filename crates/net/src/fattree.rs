@@ -207,7 +207,10 @@ mod tests {
         let r1 = t.route(0, 4, &mut first_choice);
         let r2 = t.route(1, 5, &mut first_choice);
         let shared: Vec<_> = r1.iter().filter(|l| r2.contains(l)).collect();
-        assert!(!shared.is_empty(), "cross-half routes must share root links");
+        assert!(
+            !shared.is_empty(),
+            "cross-half routes must share root links"
+        );
     }
 
     #[test]

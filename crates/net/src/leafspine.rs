@@ -126,7 +126,10 @@ impl Topology for LeafSpine {
         choose: &mut dyn FnMut(&[LinkId]) -> usize,
     ) -> Vec<LinkId> {
         let n = self.endpoints();
-        assert!(src < n && dst < n, "node out of range: {src} or {dst} >= {n}");
+        assert!(
+            src < n && dst < n,
+            "node out of range: {src} or {dst} >= {n}"
+        );
         if src == dst {
             return Vec::new();
         }
@@ -136,28 +139,25 @@ impl Topology for LeafSpine {
 
         if sp == dp {
             // Two hops via any of the pod's spines.
-            let candidates: Vec<LinkId> =
-                (0..s_count).map(|s| self.leaf_up(src, s)).collect();
+            let candidates: Vec<LinkId> = (0..s_count).map(|s| self.leaf_up(src, s)).collect();
             let s = pick(choose, &candidates);
             return vec![self.leaf_up(src, s), self.leaf_down(dst, s)];
         }
 
         // Four hops: leaf -> L2(src pod) -> L3 -> L2(dst pod) -> leaf.
-        let up_candidates: Vec<LinkId> =
-            (0..s_count).map(|s| self.leaf_up(src, s)).collect();
+        let up_candidates: Vec<LinkId> = (0..s_count).map(|s| self.leaf_up(src, s)).collect();
         let s_src = pick(choose, &up_candidates);
         let l2_src = self.l2_global(sp, s_src);
 
-        let top_candidates: Vec<LinkId> =
-            (0..self.top_spines).map(|t| self.l2_up(l2_src, t)).collect();
+        let top_candidates: Vec<LinkId> = (0..self.top_spines)
+            .map(|t| self.l2_up(l2_src, t))
+            .collect();
         let top = pick(choose, &top_candidates);
 
         // Present the *final-hop* links as the stage-3 candidates: the
         // spine-to-leaf hop into a popular destination is the likelier
         // bottleneck, so an adaptive chooser should compare those.
-        let down_candidates: Vec<LinkId> = (0..s_count)
-            .map(|s| self.leaf_down(dst, s))
-            .collect();
+        let down_candidates: Vec<LinkId> = (0..s_count).map(|s| self.leaf_down(dst, s)).collect();
         let s_dst = pick(choose, &down_candidates);
         let l2_dst = self.l2_global(dp, s_dst);
 

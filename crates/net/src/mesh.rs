@@ -115,7 +115,10 @@ impl Topology for Mesh2D {
         dst: usize,
         _choose: &mut dyn FnMut(&[LinkId]) -> usize,
     ) -> Vec<LinkId> {
-        assert!(src < self.endpoints() && dst < self.endpoints(), "node out of range");
+        assert!(
+            src < self.endpoints() && dst < self.endpoints(),
+            "node out of range"
+        );
         let (mut c, mut r) = self.coords(src);
         let (dc, dr) = self.coords(dst);
         let mut route = Vec::new();

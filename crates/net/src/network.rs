@@ -206,9 +206,7 @@ impl<T: Topology> Network<T> {
 
     fn serialization(&self, bytes: u64, link: LinkId) -> Cycles {
         let width = self.topo.link_width(link).max(f64::EPSILON);
-        Cycles::new(
-            ((bytes as f64 / (self.config.bytes_per_cycle * width)).ceil() as u64).max(1),
-        )
+        Cycles::new(((bytes as f64 / (self.config.bytes_per_cycle * width)).ceil() as u64).max(1))
     }
 
     fn build_route(&mut self, src: usize, dst: usize, now: Cycles) -> Vec<LinkId> {
@@ -301,7 +299,10 @@ mod tests {
             a_last = a_last.max(adaptive.send(0, 31, 1024, Cycles::ZERO));
             d_last = d_last.max(det.send(0, 31, 1024, Cycles::ZERO));
         }
-        assert!(a_last < d_last, "adaptive {a_last} vs deterministic {d_last}");
+        assert!(
+            a_last < d_last,
+            "adaptive {a_last} vs deterministic {d_last}"
+        );
     }
 
     #[test]
@@ -339,10 +340,7 @@ mod tests {
             ..NetworkConfig::on_package()
         };
         let run = |seed: u64| {
-            let mut net = Network::new(
-                LeafSpine::paper_default(),
-                NetworkConfig { seed, ..cfg },
-            );
+            let mut net = Network::new(LeafSpine::paper_default(), NetworkConfig { seed, ..cfg });
             (0..20)
                 .map(|i| net.send(0, 31, 512, Cycles::new(i * 3)).raw())
                 .collect::<Vec<_>>()

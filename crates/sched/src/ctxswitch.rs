@@ -206,7 +206,10 @@ mod tests {
         let mut big = Dispatcher::for_model(CtxSwitchModel::Shinjuku, 1024).expect("software");
         let s = small.dispatch(Cycles::ZERO);
         let b = big.dispatch(Cycles::ZERO);
-        assert!(b > s, "1024-core dispatch {b} should cost more than 40-core {s}");
+        assert!(
+            b > s,
+            "1024-core dispatch {b} should cost more than 40-core {s}"
+        );
         assert!(b <= s * 2, "scaling is clamped at 2x: {b} vs {s}");
     }
 

@@ -267,8 +267,7 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let run = |seed| {
-            let mut f: QueueFabric<u64> =
-                QueueFabric::new(FabricConfig::new(8, 4, false, seed));
+            let mut f: QueueFabric<u64> = QueueFabric::new(FabricConfig::new(8, 4, false, seed));
             (0..50).map(|i| f.enqueue(i)).collect::<Vec<_>>()
         };
         assert_eq!(run(5), run(5));

@@ -216,7 +216,9 @@ impl<T> RequestQueue<T> {
         let mut best: Option<(usize, u64)> = None;
         for off in 0..cap {
             let idx = (self.head + off) % cap;
-            let Some(entry) = &self.slots[idx] else { continue };
+            let Some(entry) = &self.slots[idx] else {
+                continue;
+            };
             if entry.status != RqEntryStatus::Ready {
                 continue;
             }
@@ -342,9 +344,10 @@ impl<T> RequestQueue<T> {
     /// The per-core Work flag (§4.3): whether a ready entry exists for
     /// `service`.
     pub fn has_ready(&self, service: u32) -> bool {
-        self.slots.iter().flatten().any(|e| {
-            e.status == RqEntryStatus::Ready && e.service == service
-        })
+        self.slots
+            .iter()
+            .flatten()
+            .any(|e| e.status == RqEntryStatus::Ready && e.service == service)
     }
 
     /// Whether any service has a ready entry.
@@ -651,9 +654,7 @@ mod tests {
         rq.enqueue(1, 500u64).unwrap();
         rq.enqueue(1, 100u64).unwrap();
         rq.enqueue(1, 300u64).unwrap();
-        let (_, &v) = rq
-            .dequeue_with(1, DequeuePolicy::Srpt, |&rem| rem)
-            .unwrap();
+        let (_, &v) = rq.dequeue_with(1, DequeuePolicy::Srpt, |&rem| rem).unwrap();
         assert_eq!(v, 100);
     }
 

@@ -37,6 +37,17 @@ pub fn stream_indexed(seed: u64, tag: &str, index: u64) -> SmallRng {
     SmallRng::seed_from_u64(mix(mix(seed, fnv1a(tag.as_bytes())), index))
 }
 
+/// Derives a child master seed for sub-experiment `index` of a sweep.
+///
+/// Sweep drivers use this to give every point of a parameter sweep its
+/// own independent seed, derived purely from the sweep's master seed and
+/// the point's position. Because the derivation is a function of
+/// `(seed, index)` alone — never of execution order — a sweep evaluated
+/// across worker threads produces bit-identical results to a serial run.
+pub fn derive_seed(seed: u64, index: u64) -> u64 {
+    mix(mix(seed, fnv1a(b"sweep-point")), index)
+}
+
 /// FNV-1a 64-bit hash.
 fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -92,6 +103,17 @@ mod tests {
             let mut r = stream_indexed(7, "core", i);
             assert!(seen.insert(r.gen::<u64>()), "collision at index {i}");
         }
+    }
+
+    #[test]
+    fn derived_seeds_are_distinct_and_stable() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..1_000 {
+            assert!(seen.insert(derive_seed(42, i)), "collision at index {i}");
+        }
+        // Stable across calls (pure function of its inputs).
+        assert_eq!(derive_seed(42, 7), derive_seed(42, 7));
+        assert_ne!(derive_seed(42, 7), derive_seed(43, 7));
     }
 
     #[test]

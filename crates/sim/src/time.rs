@@ -245,10 +245,7 @@ mod tests {
     #[test]
     fn saturating_ops() {
         assert_eq!(Cycles::new(1).saturating_sub(Cycles::new(5)), Cycles::ZERO);
-        assert_eq!(
-            Cycles::MAX.saturating_add(Cycles::new(1)),
-            Cycles::MAX
-        );
+        assert_eq!(Cycles::MAX.saturating_add(Cycles::new(1)), Cycles::MAX);
     }
 
     #[test]

@@ -34,7 +34,10 @@ impl Cdf {
     pub fn from_samples<I: IntoIterator<Item = f64>>(samples: I) -> Self {
         let mut sorted: Vec<f64> = samples.into_iter().collect();
         assert!(!sorted.is_empty(), "cannot build a CDF from zero samples");
-        assert!(sorted.iter().all(|v| !v.is_nan()), "NaN sample in CDF input");
+        assert!(
+            sorted.iter().all(|v| !v.is_nan()),
+            "NaN sample in CDF input"
+        );
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN checked above"));
         Self { sorted }
     }

@@ -1,5 +1,6 @@
 //! Exact sample storage with percentile queries.
 
+use std::borrow::Cow;
 use std::fmt;
 
 /// An exact collection of `f64` samples supporting mean/percentile queries.
@@ -26,7 +27,8 @@ use std::fmt;
 #[derive(Clone, Debug, Default)]
 pub struct Samples {
     values: Vec<f64>,
-    /// Indices into `values` in ascending value order; empty means stale.
+    /// The values of `values` in ascending order; a length mismatch with
+    /// `values` means the cache is stale.
     sorted: Vec<f64>,
 }
 
@@ -87,7 +89,10 @@ impl Samples {
         if self.values.is_empty() {
             return 0.0;
         }
-        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Returns the `q`-quantile (0.0 ≤ `q` ≤ 1.0) using the nearest-rank
@@ -145,15 +150,15 @@ impl Samples {
         crate::Summary::of(self)
     }
 
-    fn sorted_values(&self) -> Vec<f64> {
-        // Cheap clone-and-sort; the cache in `sorted` is an optimization for
-        // repeated percentile queries on a frozen set.
+    fn sorted_values(&self) -> Cow<'_, [f64]> {
+        // Frozen sets borrow the cache (no per-query allocation — P99 is
+        // queried in hot report paths); unfrozen sets sort a copy.
         if self.sorted.len() == self.values.len() {
-            return self.sorted.clone();
+            return Cow::Borrowed(&self.sorted);
         }
         let mut v = self.values.clone();
         v.sort_by(|a, b| a.partial_cmp(b).expect("NaN rejected at record time"));
-        v
+        Cow::Owned(v)
     }
 
     /// Freezes the sorted cache; subsequent percentile queries are O(1) sorts.
@@ -283,6 +288,21 @@ mod tests {
         s.record(100.0);
         assert_eq!(s.max(), 100.0);
         assert_eq!(s.percentile(1.0), 100.0);
+    }
+
+    #[test]
+    fn frozen_and_unfrozen_percentiles_agree() {
+        let values = [9.0, 1.0, 5.0, 3.0, 7.0, 2.0, 8.0, 4.0, 6.0];
+        let unfrozen: Samples = values.into_iter().collect();
+        let mut frozen: Samples = values.into_iter().collect();
+        frozen.freeze();
+        // The frozen set serves queries from the borrowed cache; the
+        // unfrozen one sorts a copy. Results must be bit-identical.
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(unfrozen.percentile(q), frozen.percentile(q), "q={q}");
+        }
+        assert!(matches!(frozen.sorted_values(), Cow::Borrowed(_)));
+        assert!(matches!(unfrozen.sorted_values(), Cow::Owned(_)));
     }
 
     #[test]

@@ -202,11 +202,7 @@ impl SocialNetwork {
     /// Expands a root plan into the full tree of plans it will trigger
     /// (for analysis; the system simulator spawns callees dynamically).
     /// Returns plans in invocation order, root first.
-    pub fn expand_tree<R: Rng + ?Sized>(
-        &self,
-        root: ServiceId,
-        rng: &mut R,
-    ) -> Vec<RequestPlan> {
+    pub fn expand_tree<R: Rng + ?Sized>(&self, root: ServiceId, rng: &mut R) -> Vec<RequestPlan> {
         let mut out = Vec::new();
         let mut stack = vec![root];
         // The SocialNetwork call graph is a DAG, so expansion terminates;
@@ -239,11 +235,7 @@ impl SocialNetwork {
     /// Mean CPU time per *invocation* across the whole suite, in
     /// reference-core microseconds — the calibration figure behind the
     /// paper's "average execution time of a service request is 120 us".
-    pub fn mean_invocation_compute_us<R: Rng + ?Sized>(
-        &self,
-        rng: &mut R,
-        samples: usize,
-    ) -> f64 {
+    pub fn mean_invocation_compute_us<R: Rng + ?Sized>(&self, rng: &mut R, samples: usize) -> f64 {
         let mut total = 0.0;
         let mut count = 0usize;
         for &root in &Self::ALL {
@@ -363,7 +355,11 @@ mod tests {
     fn backends_are_leaves() {
         let apps = SocialNetwork::new();
         let mut r = rng();
-        for &leaf in &[SocialNetwork::REDIS, SocialNetwork::MONGO, SocialNetwork::MEMC] {
+        for &leaf in &[
+            SocialNetwork::REDIS,
+            SocialNetwork::MONGO,
+            SocialNetwork::MEMC,
+        ] {
             for _ in 0..50 {
                 let plan = apps.sample_plan(leaf, &mut r);
                 assert_eq!(plan.callees().count(), 0);
@@ -379,7 +375,10 @@ mod tests {
             .filter(|_| apps.sample_plan(SocialNetwork::REDIS, &mut r).rpc_count() > 0)
             .count();
         let frac = with_storage as f64 / 10_000.0;
-        assert!((0.04..0.13).contains(&frac), "external storage fraction {frac}");
+        assert!(
+            (0.04..0.13).contains(&frac),
+            "external storage fraction {frac}"
+        );
     }
 
     #[test]
@@ -394,6 +393,9 @@ mod tests {
                 seen_mongo += 1;
             }
         }
-        assert!(seen_mongo > 150, "MongoDB reached in {seen_mongo}/200 trees");
+        assert!(
+            seen_mongo > 150,
+            "MongoDB reached in {seen_mongo}/200 trees"
+        );
     }
 }

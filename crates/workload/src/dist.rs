@@ -105,9 +105,7 @@ impl ServiceTimeDist {
     /// `Constant { 0 }`).
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
         match *self {
-            ServiceTimeDist::Exponential { mean_us } => {
-                sample_exponential(rng, mean_us)
-            }
+            ServiceTimeDist::Exponential { mean_us } => sample_exponential(rng, mean_us),
             ServiceTimeDist::LogNormal { mu, sigma } => {
                 (mu + sigma * sample_standard_normal(rng)).exp()
             }
@@ -127,9 +125,7 @@ impl ServiceTimeDist {
         match *self {
             ServiceTimeDist::Exponential { mean_us } => mean_us,
             ServiceTimeDist::LogNormal { mu, sigma } => (mu + sigma * sigma / 2.0).exp(),
-            ServiceTimeDist::Bimodal { lo_us, hi_us, p_lo } => {
-                p_lo * lo_us + (1.0 - p_lo) * hi_us
-            }
+            ServiceTimeDist::Bimodal { lo_us, hi_us, p_lo } => p_lo * lo_us + (1.0 - p_lo) * hi_us,
             ServiceTimeDist::Constant { value_us } => value_us,
         }
     }
@@ -211,9 +207,7 @@ mod tests {
         let d = ServiceTimeDist::bimodal(10.0, 1000.0, 0.9);
         assert!((d.mean() - (0.9 * 10.0 + 0.1 * 1000.0)).abs() < 1e-9);
         let mut r = rng();
-        let longs = (0..100_000)
-            .filter(|_| d.sample(&mut r) > 500.0)
-            .count();
+        let longs = (0..100_000).filter(|_| d.sample(&mut r) > 500.0).count();
         let frac = longs as f64 / 100_000.0;
         assert!((frac - 0.1).abs() < 0.01, "long fraction {frac}");
     }

@@ -229,9 +229,7 @@ impl ServiceProfile {
         let extra: f64 = (1..=self.extra_storage_max)
             .map(|k| self.extra_storage_p.powi(k as i32))
             .sum();
-        self.storage_calls as f64
-            + extra
-            + self.downstream.iter().map(|&(_, p)| p).sum::<f64>()
+        self.storage_calls as f64 + extra + self.downstream.iter().map(|&(_, p)| p).sum::<f64>()
     }
 }
 
@@ -405,13 +403,7 @@ mod tests {
     #[test]
     fn downstream_probability_respected() {
         let callee = ServiceId::new(7);
-        let p = ServiceProfile::mid_tier(
-            "agg",
-            ServiceId::new(2),
-            50.0,
-            0,
-            vec![(callee, 0.5)],
-        );
+        let p = ServiceProfile::mid_tier("agg", ServiceId::new(2), 50.0, 0, vec![(callee, 0.5)]);
         let mut r = rng();
         let calls = (0..10_000)
             .filter(|_| p.sample_plan(&mut r).callees().any(|c| c == callee))
@@ -423,13 +415,7 @@ mod tests {
     #[test]
     fn always_invoked_downstream() {
         let callee = ServiceId::new(9);
-        let p = ServiceProfile::mid_tier(
-            "agg",
-            ServiceId::new(2),
-            50.0,
-            1,
-            vec![(callee, 1.0)],
-        );
+        let p = ServiceProfile::mid_tier("agg", ServiceId::new(2), 50.0, 1, vec![(callee, 1.0)]);
         let mut r = rng();
         for _ in 0..50 {
             let plan = p.sample_plan(&mut r);
@@ -446,7 +432,11 @@ mod tests {
             .map(|_| p.sample_plan(&mut r).rpc_count() as f64)
             .sum::<f64>()
             / 20_000.0;
-        assert!((emp - p.mean_rpcs()).abs() < 0.05, "emp {emp} vs {}", p.mean_rpcs());
+        assert!(
+            (emp - p.mean_rpcs()).abs() < 0.05,
+            "emp {emp} vs {}",
+            p.mean_rpcs()
+        );
     }
 
     #[test]

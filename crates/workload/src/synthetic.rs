@@ -68,21 +68,13 @@ impl SyntheticWorkload {
             ),
             (
                 "Lgn",
-                SyntheticWorkload::new(
-                    ServiceTimeDist::lognormal_with_mean(mean_us, 4.0),
-                    2,
-                    6,
-                ),
+                SyntheticWorkload::new(ServiceTimeDist::lognormal_with_mean(mean_us, 4.0), 2, 6),
             ),
             (
                 "Bim",
                 // 90% short, 10% 10x-long requests with the same mean.
                 SyntheticWorkload::new(
-                    ServiceTimeDist::bimodal(
-                        mean_us / 1.9,
-                        mean_us * 10.0 / 1.9,
-                        0.9,
-                    ),
+                    ServiceTimeDist::bimodal(mean_us / 1.9, mean_us * 10.0 / 1.9, 0.9),
                     2,
                     6,
                 ),

@@ -111,13 +111,7 @@ impl TrainTicket {
                 vec![(Self::SEAT, 1.0), (Self::MYSQL, 0.8), (Self::NOTIFY, 0.7)],
             ),
             // Mid-tiers.
-            ServiceProfile::mid_tier(
-                "Station",
-                Self::STATION,
-                80.0,
-                0,
-                vec![(Self::REDIS, 0.9)],
-            ),
+            ServiceProfile::mid_tier("Station", Self::STATION, 80.0, 0, vec![(Self::REDIS, 0.9)]),
             ServiceProfile::mid_tier(
                 "Train",
                 Self::TRAIN,

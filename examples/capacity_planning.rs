@@ -12,30 +12,43 @@
 
 use um_arch::MachineConfig;
 use um_workload::apps::SocialNetwork;
-use umanycore::qos::{max_qos_throughput, QOS_MULTIPLIER};
+use umanycore::qos::{max_qos_throughput_many, QOS_MULTIPLIER};
 use umanycore::{SimConfig, Workload};
 
 fn main() {
     let apps = SocialNetwork::new();
     println!("QoS bound: latency within {QOS_MULTIPLIER}x the contention-free average\n");
 
-    for root in [SocialNetwork::HOME_T, SocialNetwork::CPOST] {
-        let name = apps.profile(root).name;
-        println!("application: {name}");
-        for (label, machine) in [
-            ("ServerClass-40", MachineConfig::server_class_iso_power()),
-            ("ScaleOut", MachineConfig::scaleout()),
-            ("uManycore", MachineConfig::umanycore()),
-        ] {
-            let base = SimConfig {
+    let roots = [SocialNetwork::HOME_T, SocialNetwork::CPOST];
+    let labels = ["ServerClass-40", "ScaleOut", "uManycore"];
+    let machines = || {
+        [
+            MachineConfig::server_class_iso_power(),
+            MachineConfig::scaleout(),
+            MachineConfig::umanycore(),
+        ]
+    };
+    // All six searches (2 apps x 3 machines) run across the UM_THREADS
+    // worker pool; results come back in input order.
+    let bases: Vec<SimConfig> = roots
+        .iter()
+        .flat_map(|&root| {
+            machines().map(|machine| SimConfig {
                 machine,
                 workload: Workload::social_app(root),
                 horizon_us: 60_000.0,
                 warmup_us: 6_000.0,
                 seed: 11,
                 ..SimConfig::default()
-            };
-            let result = max_qos_throughput(&base, 500.0, 128_000.0);
+            })
+        })
+        .collect();
+    let results = max_qos_throughput_many(bases, 500.0, 128_000.0);
+
+    for (&root, chunk) in roots.iter().zip(results.chunks_exact(labels.len())) {
+        let name = apps.profile(root).name;
+        println!("application: {name}");
+        for (label, result) in labels.iter().zip(chunk) {
             println!(
                 "  {label:15} sustains {:7.1} KRPS (bound {:.0} us, contention-free avg {:.0} us)",
                 result.max_rps / 1000.0,

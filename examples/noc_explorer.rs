@@ -50,8 +50,7 @@ fn main() {
     for (name, mut net) in [
         (
             "2d-mesh",
-            Network::new(Mesh2D::near_square(32), NetworkConfig::on_package())
-                .into_any(),
+            Network::new(Mesh2D::near_square(32), NetworkConfig::on_package()).into_any(),
         ),
         (
             "fat-tree",
@@ -59,8 +58,7 @@ fn main() {
         ),
         (
             "leaf-spine",
-            Network::new(LeafSpine::paper_default(), NetworkConfig::on_package())
-                .into_any(),
+            Network::new(LeafSpine::paper_default(), NetworkConfig::on_package()).into_any(),
         ),
     ] {
         let mut last = Cycles::ZERO;

@@ -12,7 +12,8 @@
 
 use um_arch::{MachineConfig, TopologyShape};
 use um_workload::apps::SocialNetwork;
-use umanycore::{SimConfig, SystemSim, Workload};
+use umanycore::experiments::parallel;
+use umanycore::{SimConfig, Workload};
 
 fn main() {
     let apps = SocialNetwork::new();
@@ -21,9 +22,12 @@ fn main() {
     for root in [SocialNetwork::URL_SHORT, SocialNetwork::HOME_T] {
         let name = apps.profile(root).name;
         println!("service: {name} at 15K RPS");
-        let mut best: Option<(String, f64)> = None;
-        for shape in shapes {
-            let report = SystemSim::new(SimConfig {
+        // One simulation per shape, fanned out across the UM_THREADS
+        // worker pool; all shapes share the seed so the comparison is
+        // paired.
+        let configs: Vec<SimConfig> = shapes
+            .iter()
+            .map(|&shape| SimConfig {
                 machine: MachineConfig::umanycore_shaped(shape),
                 workload: Workload::social_app(root),
                 rps_per_server: 15_000.0,
@@ -32,7 +36,10 @@ fn main() {
                 seed: 3,
                 ..SimConfig::default()
             })
-            .run();
+            .collect();
+        let reports = parallel::run_reports(configs);
+        let mut best: Option<(String, f64)> = None;
+        for (shape, report) in shapes.iter().zip(&reports) {
             println!(
                 "  shape {:9}  avg {:7.1} us   p99 {:8.1} us",
                 shape.label(),

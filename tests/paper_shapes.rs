@@ -68,7 +68,10 @@ fn ablation_stages_are_cumulative() {
     let row = evaluation::fig15_row(SocialNetwork::SGRAPH, 15_000.0, scale);
     assert_eq!(row.reductions.len(), 4);
     let last = row.reductions[3];
-    assert!(last > 3.0, "full uManycore should be >3x over ScaleOut, got {last}");
+    assert!(
+        last > 3.0,
+        "full uManycore should be >3x over ScaleOut, got {last}"
+    );
     // The two hardware stages dominate the two organization stages.
     assert!(
         row.reductions[3] > row.reductions[1],
@@ -113,7 +116,11 @@ fn context_switch_crossover() {
             .expect("swept value")
             .norm_tail
     };
-    assert!(at(256) < 2.0, "256-cycle CS should be near-free: {}", at(256));
+    assert!(
+        at(256) < 2.0,
+        "256-cycle CS should be near-free: {}",
+        at(256)
+    );
     assert!(
         at(8192) > 5.0,
         "8K-cycle CS should devastate the 50K-RPS tail: {}",
@@ -157,10 +164,7 @@ fn queue_structure_extremes() {
         ..quick()
     };
     let rows = motivation::fig3_rows(scale, 50_000.0);
-    let best = rows
-        .iter()
-        .map(|r| r.tail_us)
-        .fold(f64::INFINITY, f64::min);
+    let best = rows.iter().map(|r| r.tail_us).fold(f64::INFINITY, f64::min);
     let single = rows.last().expect("has rows");
     assert_eq!(single.queues, 1);
     // Full-scale runs show ~2.6x (results/fig3.txt); at this reduced

@@ -8,8 +8,8 @@ use um_mem::hierarchy::{AccessKind, HierarchyConfig, MemoryHierarchy};
 use um_net::{LeafSpine, Network, NetworkConfig};
 use um_sched::RequestQueue;
 use um_sim::{rng, Cycles};
-use um_workload::trace::{TraceGenerator, TraceProfile};
 use um_workload::apps::SocialNetwork;
+use um_workload::trace::{TraceGenerator, TraceProfile};
 
 /// Drives a village's hardware RQ through a full burst lifecycle exactly
 /// as the system simulator does: NIC enqueues via ServiceMap dispatch,
@@ -27,7 +27,9 @@ fn rq_and_servicemap_burst_lifecycle() {
     let mut slots = Vec::new();
     for i in 0..100u64 {
         let village = map.dispatch(7).expect("service registered");
-        let slot = rqs[village].enqueue(7, i).expect("capacity 64 suffices for 50");
+        let slot = rqs[village]
+            .enqueue(7, i)
+            .expect("capacity 64 suffices for 50");
         slots.push((village, slot));
     }
     assert_eq!(rqs[0].len() + rqs[1].len(), 100);
@@ -75,7 +77,11 @@ fn rq_overflow_drains_in_order() {
             }
         }
     }
-    assert_eq!(served, (0..10).collect::<Vec<_>>(), "FCFS survives overflow");
+    assert_eq!(
+        served,
+        (0..10).collect::<Vec<_>>(),
+        "FCFS survives overflow"
+    );
 }
 
 /// Microservice traces keep their working set L1-resident; monolith

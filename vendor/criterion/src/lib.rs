@@ -1,0 +1,217 @@
+//! Offline vendored subset of the `criterion` 0.5 API.
+//!
+//! The build environment for this repository has no access to crates.io,
+//! so the workspace vendors the slice of criterion its benches use:
+//! [`Criterion`] with `bench_function` / `benchmark_group`,
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`black_box`],
+//! and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is intentionally simple — calibrate an iteration count to
+//! a target wall time, then report mean ns/iter over a few samples — but
+//! the harness API matches, so benches compile and produce usable
+//! numbers with `cargo bench`.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched
+/// work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A parameterized benchmark label.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Builds an id from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Drives timed iterations of one benchmark body.
+pub struct Bencher {
+    /// Nanoseconds per iteration measured by the last `iter` call.
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Calibrates and measures `f`, recording mean time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: grow the batch until it runs long enough to time.
+        let mut batch: u64 = 1;
+        let target = Duration::from_millis(50);
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= target || batch >= 1 << 30 {
+                self.ns_per_iter = elapsed.as_nanos() as f64 / batch as f64;
+                break;
+            }
+            // Aim past the target so the next round usually terminates.
+            let grow = if elapsed.is_zero() {
+                64
+            } else {
+                ((target.as_nanos() as f64 / elapsed.as_nanos() as f64) * 1.5).ceil() as u64
+            };
+            batch = batch.saturating_mul(grow.max(2)).min(1 << 30);
+        }
+    }
+}
+
+fn report(name: &str, ns: f64) {
+    if ns >= 1e6 {
+        println!("{name:<48} {:>12.3} ms/iter", ns / 1e6);
+    } else if ns >= 1e3 {
+        println!("{name:<48} {:>12.3} us/iter", ns / 1e3);
+    } else {
+        println!("{name:<48} {ns:>12.1} ns/iter");
+    }
+}
+
+fn run_one(name: &str, samples: usize, mut body: impl FnMut(&mut Bencher)) {
+    let mut best = f64::INFINITY;
+    for _ in 0..samples.max(1) {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        body(&mut b);
+        best = best.min(b.ns_per_iter);
+    }
+    report(name, best);
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function(&mut self, name: &str, body: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(name, 3, body);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            samples: 3,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample count.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.clamp(1, 100);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        body: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&format!("{}/{id}", self.name), self.samples, body);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut body: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(&format!("{}/{id}", self.name), self.samples, |b| {
+            body(b, input)
+        });
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        b.iter(|| black_box(1u64 + 1));
+        assert!(b.ns_per_iter > 0.0);
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(0)));
+        let mut g = c.benchmark_group("g");
+        g.sample_size(1);
+        g.bench_with_input(BenchmarkId::from_parameter(1), &41, |b, &x| {
+            b.iter(|| black_box(x + 1))
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,55 @@
+//! Collection strategies: `vec(element, size)`.
+
+use crate::{Strategy, TestRng};
+use rand::Rng;
+use std::ops::Range;
+
+/// A length specification for collection strategies: an exact `usize` or
+/// a half-open `Range<usize>`.
+#[derive(Clone, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi_exclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        Self {
+            lo: exact,
+            hi_exclusive: exact + 1,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        Self {
+            lo: r.start,
+            hi_exclusive: r.end,
+        }
+    }
+}
+
+/// A strategy producing `Vec`s of values from an element strategy.
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.size.lo..self.size.hi_exclusive);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Builds a strategy for `Vec`s with lengths drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}

@@ -1,0 +1,159 @@
+//! Uniform sampling from ranges, mirroring rand 0.8's widening-multiply
+//! rejection method for integers and the 52-bit mantissa method for
+//! floats.
+
+use crate::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// A range usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// A type whose half-open and inclusive ranges can be sampled uniformly.
+pub trait SampleUniform: Sized {
+    /// Uniform draw from `[low, high)`.
+    fn sample_half_open<R: Rng + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+
+    /// Uniform draw from `[low, high]`.
+    fn sample_inclusive<R: Rng + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+impl<T: SampleUniform + PartialOrd + Copy> SampleRange<T> for Range<T> {
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd + Copy> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = (*self.start(), *self.end());
+        assert!(low <= high, "cannot sample empty range");
+        T::sample_inclusive(low, high, rng)
+    }
+}
+
+/// Widening multiply of two `u64`s: `(high word, low word)`.
+fn wmul64(a: u64, b: u64) -> (u64, u64) {
+    let full = (a as u128) * (b as u128);
+    ((full >> 64) as u64, full as u64)
+}
+
+/// Widening multiply of two `u32`s.
+fn wmul32(a: u32, b: u32) -> (u32, u32) {
+    let full = (a as u64) * (b as u64);
+    ((full >> 32) as u32, full as u32)
+}
+
+/// Unbiased draw from `[0, span)` with `span > 0`, 64-bit path.
+fn sample_span64<R: Rng + ?Sized>(span: u64, rng: &mut R) -> u64 {
+    // Lemire's rejection method, as used by rand 0.8's sample_single:
+    // accept v*span whose low word clears the bias zone.
+    let zone = (span << span.leading_zeros()).wrapping_sub(1);
+    loop {
+        let v = rng.next_u64();
+        let (hi, lo) = wmul64(v, span);
+        if lo <= zone {
+            return hi;
+        }
+    }
+}
+
+/// Unbiased draw from `[0, span)` with `span > 0`, 32-bit path.
+fn sample_span32<R: Rng + ?Sized>(span: u32, rng: &mut R) -> u32 {
+    let zone = (span << span.leading_zeros()).wrapping_sub(1);
+    loop {
+        let v = rng.next_u32();
+        let (hi, lo) = wmul32(v, span);
+        if lo <= zone {
+            return hi;
+        }
+    }
+}
+
+macro_rules! uniform_int_64 {
+    ($($ty:ty => $uty:ty),+ $(,)?) => {$(
+        impl SampleUniform for $ty {
+            fn sample_half_open<R: Rng + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                let span = (high as $uty).wrapping_sub(low as $uty) as u64;
+                low.wrapping_add(sample_span64(span, rng) as $ty)
+            }
+
+            fn sample_inclusive<R: Rng + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                let span = (high as $uty).wrapping_sub(low as $uty) as u64;
+                if span == <$uty>::MAX as u64 {
+                    return rng.next_u64() as $ty;
+                }
+                low.wrapping_add(sample_span64(span + 1, rng) as $ty)
+            }
+        }
+    )+};
+}
+
+macro_rules! uniform_int_32 {
+    ($($ty:ty => $uty:ty),+ $(,)?) => {$(
+        impl SampleUniform for $ty {
+            fn sample_half_open<R: Rng + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                let span = (high as $uty).wrapping_sub(low as $uty) as u32;
+                low.wrapping_add(sample_span32(span, rng) as $ty)
+            }
+
+            fn sample_inclusive<R: Rng + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                let span = (high as $uty).wrapping_sub(low as $uty) as u32;
+                if span == <$uty>::MAX as u32 {
+                    return rng.next_u32() as $ty;
+                }
+                low.wrapping_add(sample_span32(span + 1, rng) as $ty)
+            }
+        }
+    )+};
+}
+
+uniform_int_64!(u64 => u64, i64 => u64, usize => usize, isize => usize);
+uniform_int_32!(u32 => u32, i32 => u32, u16 => u16, i16 => u16, u8 => u8, i8 => u8);
+
+// f64: keep 52 mantissa bits; exponent field starts at bit 52 and the
+// biased exponent of 1.0 is 0x3ff.
+impl SampleUniform for f64 {
+    fn sample_half_open<R: Rng + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+        let scale = high - low;
+        let value1_2 = f64::from_bits((rng.next_u64() >> 12) | 0x3ff0_0000_0000_0000);
+        let value0_1 = value1_2 - 1.0;
+        let res = value0_1 * scale + low;
+        if res < high {
+            res
+        } else {
+            f64::from_bits(high.to_bits() - 1)
+        }
+    }
+
+    fn sample_inclusive<R: Rng + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+        let scale = high - low;
+        let value1_2 = f64::from_bits((rng.next_u64() >> 12) | 0x3ff0_0000_0000_0000);
+        let value0_1 = value1_2 - 1.0;
+        (value0_1 * scale + low).min(high)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_half_open<R: Rng + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+        let scale = high - low;
+        let value1_2 = f32::from_bits((rng.next_u32() >> 9) | 0x3f80_0000);
+        let value0_1 = value1_2 - 1.0;
+        let res = value0_1 * scale + low;
+        if res < high {
+            res
+        } else {
+            f32::from_bits(high.to_bits() - 1)
+        }
+    }
+
+    fn sample_inclusive<R: Rng + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+        let scale = high - low;
+        let value1_2 = f32::from_bits((rng.next_u32() >> 9) | 0x3f80_0000);
+        let value0_1 = value1_2 - 1.0;
+        (value0_1 * scale + low).min(high)
+    }
+}
