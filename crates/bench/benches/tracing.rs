@@ -1,0 +1,53 @@
+//! Cost of the latency-provenance layer: identical short system runs with
+//! tracing disabled (the default; attribution is plain integer adds) and
+//! enabled (per-component sample collection). The acceptance bar for the
+//! tracing layer is that the disabled path stays within Criterion noise
+//! of the pre-tracing simulator, and the enabled path's overhead is small
+//! — both runs produce bit-identical simulation results either way.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use um_arch::MachineConfig;
+use umanycore::{SimConfig, SystemSim, Workload};
+
+fn short_run(machine: MachineConfig, seed: u64, trace: bool) -> f64 {
+    let report = SystemSim::new(SimConfig {
+        machine,
+        workload: Workload::social_mix(),
+        rps_per_server: 10_000.0,
+        horizon_us: 10_000.0,
+        warmup_us: 1_000.0,
+        seed,
+        trace,
+        ..SimConfig::default()
+    })
+    .run();
+    report.latency.p99
+}
+
+fn bench_tracing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tracing_10ms_10krps");
+    group.sample_size(10);
+    for (name, machine) in [
+        ("umanycore", MachineConfig::umanycore()),
+        ("scaleout", MachineConfig::scaleout()),
+    ] {
+        for trace in [false, true] {
+            let id = format!("{name}/{}", if trace { "traced" } else { "off" });
+            group.bench_with_input(
+                BenchmarkId::from_parameter(id),
+                &(machine.clone(), trace),
+                |b, (m, trace)| {
+                    let mut seed = 0;
+                    b.iter(|| {
+                        seed += 1;
+                        black_box(short_run(m.clone(), seed, *trace))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tracing);
+criterion_main!(benches);

@@ -1,5 +1,6 @@
 //! In-flight request state.
 
+use um_sim::trace::LatencyBreakdown;
 use um_sim::Cycles;
 use um_workload::{RequestPlan, ServiceId};
 
@@ -67,6 +68,16 @@ pub struct Request {
     /// Slot in the village's hardware Request Queue, when the machine
     /// schedules in hardware and the request is admitted.
     pub rq_slot: Option<um_sched::RqSlot>,
+    /// When this request's lifetime began: the client send time for roots,
+    /// the parent's call-issue time for child requests. The conservation
+    /// invariant compares the breakdown total against the span from here
+    /// to response delivery.
+    pub spawned_at: Cycles,
+    /// Cycle-exact latency attribution: where every cycle of this
+    /// request's lifetime went. Components sum to the end-to-end latency
+    /// (checked at completion); a child's breakdown is merged into its
+    /// parent's when the response arrives.
+    pub breakdown: LatencyBreakdown,
 }
 
 impl Request {
@@ -91,6 +102,8 @@ impl Request {
             blocked_cycles: Cycles::ZERO,
             queued_cycles: Cycles::ZERO,
             rq_slot: None,
+            spawned_at: Cycles::ZERO,
+            breakdown: LatencyBreakdown::new(),
         }
     }
 

@@ -9,7 +9,7 @@
 //! RPC-processing, coherence and interconnect costs.
 
 use crate::params;
-use crate::report::RunReport;
+use crate::report::{BreakdownReport, ConservationStats, RunReport};
 use crate::request::{Origin, Phase, ReqId, Request};
 use crate::workload::Workload;
 use rand::rngs::SmallRng;
@@ -20,6 +20,7 @@ use um_arch::config::{CoherenceDomain, IcnKind, MachineConfig};
 use um_arch::ServiceMap;
 use um_net::{ExternalNetwork, FatTree, LeafSpine, Mesh2D, Network, NetworkConfig};
 use um_sched::{Dispatcher, RequestQueue};
+use um_sim::trace::{Component, LatencyBreakdown, Span};
 use um_sim::{rng as simrng, Cycles, EventQueue};
 use um_stats::Samples;
 use um_workload::{PoissonArrivals, RpcKind, ServiceId};
@@ -69,6 +70,12 @@ pub struct SimConfig {
     /// reading its snapshot from the cluster memory pool when present
     /// (§3.5/§4.1) and cold-booting otherwise.
     pub autoscale: bool,
+    /// Collect per-component latency distributions (the measured Figure
+    /// 3/6 breakdowns) into [`RunReport::breakdown`]. Cycle attribution
+    /// and the conservation check run unconditionally — they are plain
+    /// integer adds on state the event handlers already touch — but the
+    /// per-request sample recording is gated here.
+    pub trace: bool,
 }
 
 /// How external requests arrive at each server.
@@ -98,6 +105,72 @@ impl Default for SimConfig {
             dequeue_policy: um_sched::DequeuePolicy::Fcfs,
             arrivals: ArrivalProcess::Poisson,
             autoscale: false,
+            trace: false,
+        }
+    }
+}
+
+/// Run-wide latency-provenance accounting: the conservation invariant
+/// (checked for every finished request) plus, when tracing is enabled,
+/// per-component sample sets over recorded root requests.
+#[derive(Clone, Debug)]
+struct BreakdownCollector {
+    /// One sample set per [`Component`], indexed by [`Component::index`].
+    samples: Vec<Samples>,
+    /// Whether to collect samples (the [`SimConfig::trace`] gate).
+    collect: bool,
+    checked: u64,
+    max_error_cycles: u64,
+    breakdown_cycles: u128,
+    end_to_end_cycles: u128,
+}
+
+impl BreakdownCollector {
+    fn new(collect: bool) -> Self {
+        Self {
+            samples: (0..Component::COUNT).map(|_| Samples::new()).collect(),
+            collect,
+            checked: 0,
+            max_error_cycles: 0,
+            breakdown_cycles: 0,
+            end_to_end_cycles: 0,
+        }
+    }
+
+    /// Verifies one finished request's conservation invariant: breakdown
+    /// components must sum to the end-to-end lifetime, to the cycle.
+    fn check(&mut self, bd: &LatencyBreakdown, end_to_end: Cycles) {
+        let total = bd.total();
+        self.checked += 1;
+        self.breakdown_cycles += total.raw() as u128;
+        self.end_to_end_cycles += end_to_end.raw() as u128;
+        self.max_error_cycles = self
+            .max_error_cycles
+            .max(total.raw().abs_diff(end_to_end.raw()));
+        debug_assert_eq!(
+            total, end_to_end,
+            "latency conservation violated: breakdown [{bd}] sums to {total:?}, \
+             lifetime is {end_to_end:?}"
+        );
+    }
+
+    /// Records a recorded root request's per-component shares, in
+    /// microseconds (no-op unless collecting).
+    fn record(&mut self, bd: &LatencyBreakdown, freq: um_sim::Frequency) {
+        if !self.collect {
+            return;
+        }
+        for (c, v) in bd.iter() {
+            self.samples[c.index()].record(v.as_micros(freq));
+        }
+    }
+
+    fn stats(&self) -> ConservationStats {
+        ConservationStats {
+            checked: self.checked,
+            max_error_cycles: self.max_error_cycles,
+            breakdown_cycles: self.breakdown_cycles,
+            end_to_end_cycles: self.end_to_end_cycles,
         }
     }
 }
@@ -262,6 +335,7 @@ pub struct SystemSim {
     steals: u64,
     rq_overflows: u64,
     instance_boots: u64,
+    breakdown: BreakdownCollector,
 }
 
 impl SystemSim {
@@ -477,6 +551,7 @@ impl SystemSim {
             steals: 0,
             rq_overflows: 0,
             instance_boots: 0,
+            breakdown: BreakdownCollector::new(cfg.trace),
             cfg,
         }
     }
@@ -535,7 +610,7 @@ impl SystemSim {
     }
 
     fn cs_half(&self) -> Cycles {
-        Cycles::new(self.cfg.machine.ctx_switch.cost().raw() / 2)
+        self.cfg.machine.ctx_switch.half_cost()
     }
 
     /// The physical cluster a request's core sits in: villages narrower
@@ -586,9 +661,17 @@ impl SystemSim {
         ));
         // Top-level NIC ingress + one hop to the village's leaf, plus the
         // enqueue operation itself.
-        let ingress = self.wall_cycles(params::NIC_INGRESS_US)
-            + self.servers[server].icn.hop_latency()
-            + self.cfg.machine.sched_op_cost;
+        let nic = self.wall_cycles(params::NIC_INGRESS_US);
+        let hop = self.servers[server].icn.hop_latency();
+        let op = self.cfg.machine.sched_op_cost;
+        let ingress = nic + hop + op;
+        {
+            let r = &mut self.requests[req];
+            r.spawned_at = now;
+            r.breakdown.charge(Component::ExternalNet, nic);
+            r.breakdown.charge(Component::IcnTransit, hop);
+            r.breakdown.charge(Component::SchedOp, op);
+        }
         self.events
             .schedule_at(now + ingress, Event::Enqueue { req });
     }
@@ -609,12 +692,14 @@ impl SystemSim {
         // NIC-to-queue delivery keeps plain enqueues off the dispatcher
         // (the baselines use state-of-the-art NIC-to-core optimizations,
         // §5). Hardware enqueuing is done by the village NIC.
+        let arrived = now;
         let now = {
             let (server, village) = (self.requests[req].server, self.requests[req].village);
             self.servers[server].villages[village].queue_op(now)
         };
         let (server, village) = {
             let r = &mut self.requests[req];
+            r.breakdown.charge(Component::QueueWait, now - arrived);
             r.enqueued_at = now;
             r.phase = Phase::Queued;
             (r.server, r.village)
@@ -623,7 +708,7 @@ impl SystemSim {
         let mut hot = false;
         match &mut self.servers[server].villages[village].queue {
             VillageQueue::Hardware { rq, nic_buffer } => {
-                match rq.enqueue(service, req) {
+                match rq.enqueue_at(service, req, now) {
                     Ok(slot) => self.requests[req].rq_slot = Some(slot),
                     Err(_) => {
                         self.rq_overflows += 1;
@@ -690,6 +775,7 @@ impl SystemSim {
             self.resume_in_place(req, now);
             return;
         }
+        let arrived = now;
         let now = {
             let (server, village) = (self.requests[req].server, self.requests[req].village);
             self.servers[server].villages[village].queue_op(now)
@@ -697,6 +783,7 @@ impl SystemSim {
         let (server, village) = {
             let r = &mut self.requests[req];
             debug_assert_eq!(r.phase, Phase::Blocked);
+            r.breakdown.charge(Component::QueueWait, now - arrived);
             r.phase = Phase::Queued;
             r.enqueued_at = now;
             (r.server, r.village)
@@ -704,7 +791,7 @@ impl SystemSim {
         match &mut self.servers[server].villages[village].queue {
             VillageQueue::Hardware { rq, .. } => {
                 let slot = self.requests[req].rq_slot.expect("blocked in RQ");
-                rq.unblock(slot).expect("blocked entry unblocks");
+                rq.unblock_at(slot, now).expect("blocked entry unblocks");
             }
             VillageQueue::Software { ready } => ready.push_back(req),
         }
@@ -743,7 +830,7 @@ impl SystemSim {
             if self.servers[server].villages[village].idle_cores == 0 {
                 return;
             }
-            let Some((req, stolen)) = self.pop_ready(server, village) else {
+            let Some((req, stolen)) = self.pop_ready(server, village, now) else {
                 return;
             };
             self.servers[server].villages[village].idle_cores -= 1;
@@ -751,7 +838,7 @@ impl SystemSim {
         }
     }
 
-    fn pop_ready(&mut self, server: usize, village: usize) -> Option<(ReqId, bool)> {
+    fn pop_ready(&mut self, server: usize, village: usize, now: Cycles) -> Option<(ReqId, bool)> {
         let policy = self.cfg.dequeue_policy;
         let requests = &self.requests;
         // Remaining handler compute of a request, the SRPT key (the
@@ -766,8 +853,17 @@ impl SystemSim {
         let srv = &mut self.servers[server];
         match &mut srv.villages[village].queue {
             VillageQueue::Hardware { rq, .. } => rq
-                .dequeue_any_with(policy, remaining)
-                .map(|(_, &req)| (req, false)),
+                .dequeue_any_with_at(policy, remaining, now)
+                .map(|(_, &req, wait)| {
+                    // The RQ's own ready-wait measurement must agree with
+                    // the queue-wait the breakdown will charge.
+                    debug_assert_eq!(
+                        wait,
+                        now.saturating_sub(requests[req].enqueued_at),
+                        "RQ wait disagrees with request {req} enqueue time"
+                    );
+                    (req, false)
+                }),
             VillageQueue::Software { ready } => {
                 let popped = match policy {
                     um_sched::DequeuePolicy::Fcfs => ready.pop_front(),
@@ -830,15 +926,30 @@ impl SystemSim {
             let waited = now - self.requests[req].enqueued_at;
             self.requests[req].queued_cycles += waited;
             self.queueing.record(waited.as_micros(self.freq()));
+            // The queue-residence span opened when the (lock-serialized)
+            // insert completed and closes at dispatch.
+            Span::open(Component::QueueWait, self.requests[req].enqueued_at)
+                .close_into(now, &mut self.requests[req].breakdown);
 
             // Dequeue operation: the queue lock serializes the removal on
             // software machines; hardware machines execute the Dequeue
             // instruction against the RQ.
-            t = self.servers[server].villages[village].queue_op(t) + self.cfg.machine.sched_op_cost;
+            let lock_done = self.servers[server].villages[village].queue_op(t);
+            let op = self.cfg.machine.sched_op_cost;
+            {
+                let bd = &mut self.requests[req].breakdown;
+                bd.charge(Component::QueueWait, lock_done - t);
+                bd.charge(Component::SchedOp, op);
+            }
+            t = lock_done + op;
             // Context restore for resumed requests (the other half of the
             // switch whose save ran at block time).
             if resumed {
-                t += self.cs_half();
+                let half = self.cs_half();
+                self.requests[req]
+                    .breakdown
+                    .charge(Component::CtxSwitch, half);
+                t += half;
                 self.ctx_switches += 1;
             }
         }
@@ -856,9 +967,17 @@ impl SystemSim {
         if seg.rpc.is_some() {
             tax_us += self.rpc_msg_us(); // call issue processing
         }
+        // Attribution splits the tax by *prefix*: converting each running
+        // prefix sum with the same rounding as the total and differencing
+        // telescopes exactly, so the component charges sum to the one
+        // `wall_cycles(tax_us)` the timing arithmetic uses. (Each prefix
+        // is a monotone f64 accumulation, so the differences cannot
+        // underflow.)
+        let rpc_tax_us = tax_us;
         if stolen {
             tax_us += params::STEAL_COST_US;
         }
+        let sched_tax_us = tax_us;
         // Tail-at-scale software interference [16]: rare core-occupying
         // hiccups (kernel preemption, interrupts, daemons). Hardware
         // request scheduling removes the kernel's NIC/queue path — about
@@ -877,7 +996,18 @@ impl SystemSim {
         }
 
         let village_core = self.servers[server].villages[village].core;
-        let compute = village_core.compute_cycles(seg.compute_us) + self.wall_cycles(tax_us);
+        let handler = village_core.compute_cycles(seg.compute_us);
+        let tax = self.wall_cycles(tax_us);
+        let compute = handler + tax;
+        {
+            let rpc = self.wall_cycles(rpc_tax_us);
+            let sched = self.wall_cycles(sched_tax_us);
+            let bd = &mut self.requests[req].breakdown;
+            bd.charge(Component::Compute, handler);
+            bd.charge(Component::RpcProcessing, rpc);
+            bd.charge(Component::SchedOp, sched - rpc);
+            bd.charge(Component::Interference, tax - sched);
+        }
         // Coherence: resumed requests may land on a different core of the
         // domain and refetch their warm state (§4.1).
         let cores = self.servers[server].villages[village].cores;
@@ -925,6 +1055,8 @@ impl SystemSim {
         let end = t + compute + coherent + mem_stall;
         {
             let r = &mut self.requests[req];
+            r.breakdown.charge(Component::CoherenceStall, coherent);
+            r.breakdown.charge(Component::MemStall, mem_stall);
             r.phase = Phase::Running;
             r.has_run = true;
             r.cpu_cycles += end - now;
@@ -1011,6 +1143,18 @@ impl SystemSim {
             .external
             .send(storage, server, params::RESPONSE_BYTES, done);
         let ingress = self.servers[server].icn.hop_latency() * 2;
+        // The blocked interval [now, back + ingress] decomposes exactly
+        // into the on-package legs, the external-fabric legs and the
+        // storage service time.
+        {
+            let bd = &mut self.requests[req].breakdown;
+            bd.charge(Component::IcnTransit, egress + ingress);
+            bd.charge(
+                Component::ExternalNet,
+                (at_storage - (now + egress)) + (back - done),
+            );
+            bd.charge(Component::StorageService, done - at_storage);
+        }
         self.events
             .schedule_at(back + ingress, Event::Unblock { req });
     }
@@ -1037,6 +1181,18 @@ impl SystemSim {
             self.servers[server]
                 .icn
                 .send(src_cluster, dst_cluster, params::REQUEST_BYTES, now);
+        // The child's lifetime starts at the parent's call issue; the
+        // parent's blocked interval is exactly this lifetime, so the
+        // downstream wait lands in the *child's* components and folds into
+        // the parent when the response is delivered — never double-counted
+        // as caller queue wait.
+        {
+            let r = &mut self.requests[child];
+            r.spawned_at = now;
+            r.breakdown.charge(Component::IcnTransit, arrive - now);
+            r.breakdown
+                .charge(Component::SchedOp, self.cfg.machine.sched_op_cost);
+        }
         self.events.schedule_at(
             arrive + self.cfg.machine.sched_op_cost,
             Event::Enqueue { req: child },
@@ -1073,7 +1229,9 @@ impl SystemSim {
                 rq.complete(slot).expect("running entry completes");
                 while let Some(&waiting) = nic_buffer.front() {
                     let service = self.requests[waiting].service().raw();
-                    match rq.enqueue(service, waiting) {
+                    // The admitted request has been ready since its
+                    // original (NIC-buffered) arrival.
+                    match rq.enqueue_at(service, waiting, self.requests[waiting].enqueued_at) {
                         Ok(new_slot) => {
                             nic_buffer.pop_front();
                             admitted.push((waiting, new_slot));
@@ -1087,13 +1245,25 @@ impl SystemSim {
             }
         }
 
-        // Deliver the response.
+        // Deliver the response, close the final span, and check the
+        // conservation invariant against the request's whole lifetime.
         match self.requests[req].origin {
             Origin::Client { sent_at } => {
                 let egress = self.servers[server].icn.hop_latency();
+                let rtt = self.wall_cycles(params::CLIENT_RTT_US);
+                let bd = {
+                    let r = &mut self.requests[req];
+                    debug_assert_eq!(r.spawned_at, sent_at);
+                    r.breakdown.charge(Component::IcnTransit, egress);
+                    r.breakdown.charge(Component::ExternalNet, rtt);
+                    r.breakdown
+                };
+                self.breakdown.check(&bd, (now + egress - sent_at) + rtt);
                 let latency_us =
                     (now + egress - sent_at).as_micros(self.freq()) + params::CLIENT_RTT_US;
                 if sent_at >= self.warmup {
+                    let freq = self.freq();
+                    self.breakdown.record(&bd, freq);
                     self.latency.record(latency_us);
                     self.recorded += 1;
                 }
@@ -1108,6 +1278,16 @@ impl SystemSim {
                     params::RESPONSE_BYTES,
                     now,
                 );
+                let bd = {
+                    let r = &mut self.requests[req];
+                    r.breakdown.charge(Component::IcnTransit, arrive - now);
+                    r.breakdown
+                };
+                let spawned_at = self.requests[req].spawned_at;
+                self.breakdown.check(&bd, arrive - spawned_at);
+                // The parent blocked at exactly `spawned_at` and unblocks
+                // at `arrive`: fold the child's components in.
+                self.requests[parent].breakdown.merge(&bd);
                 self.events
                     .schedule_at(arrive, Event::Unblock { req: parent });
             }
@@ -1127,6 +1307,11 @@ impl SystemSim {
             self.servers.iter().map(|s| s.icn.stats()).collect();
         let icn_messages: u64 = icn_stats.iter().map(|s| s.messages).sum();
         let icn_queue: u64 = icn_stats.iter().map(|s| s.queue_cycles).sum();
+        let conservation = self.breakdown.stats();
+        let breakdown = self
+            .cfg
+            .trace
+            .then(|| BreakdownReport::from_samples(&self.breakdown.samples));
         RunReport {
             latency: self.latency.summary(),
             queueing: self.queueing.summary(),
@@ -1147,6 +1332,8 @@ impl SystemSim {
             } else {
                 icn_queue as f64 / icn_messages as f64
             },
+            conservation,
+            breakdown,
         }
     }
 }
@@ -1421,6 +1608,55 @@ mod tests {
         assert!(r.cpu_per_invocation.mean < r.latency.mean);
         // Hardware machines do not queue-wait at these loads.
         assert!(r.queued_per_invocation.mean < 50.0);
+    }
+
+    #[test]
+    fn conservation_is_exact_on_every_machine() {
+        for machine in [
+            MachineConfig::umanycore(),
+            MachineConfig::scaleout(),
+            MachineConfig::server_class_iso_power(),
+        ] {
+            let r = quick(machine, 8_000.0, 33);
+            assert!(r.conservation.checked >= r.completed);
+            assert!(
+                r.conservation.exact(),
+                "per-request breakdowns must sum to lifetimes: {:?}",
+                r.conservation
+            );
+        }
+    }
+
+    #[test]
+    fn tracing_collects_breakdowns_without_changing_timing() {
+        let base = SimConfig {
+            machine: MachineConfig::scaleout(),
+            rps_per_server: 8_000.0,
+            horizon_us: 15_000.0,
+            warmup_us: 1_500.0,
+            seed: 44,
+            ..SimConfig::default()
+        };
+        let off = SystemSim::new(base.clone()).run();
+        let on = SystemSim::new(SimConfig {
+            trace: true,
+            ..base
+        })
+        .run();
+        assert!(off.breakdown.is_none(), "tracing is opt-in");
+        // Tracing is pure observation: bit-identical results.
+        assert_eq!(off.latency.p99.to_bits(), on.latency.p99.to_bits());
+        assert_eq!(off.completed, on.completed);
+        let bd = on.breakdown.expect("tracing collects a breakdown");
+        // The per-component means sum back to the mean end-to-end latency
+        // (conservation, modulo f64 cycle->us conversion noise).
+        let err = (bd.mean_total_us() - on.latency.mean).abs();
+        assert!(
+            err <= on.latency.mean * 1e-9,
+            "component means {} vs latency mean {}",
+            bd.mean_total_us(),
+            on.latency.mean
+        );
     }
 
     #[test]

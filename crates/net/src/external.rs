@@ -9,6 +9,22 @@
 
 use um_sim::{Cycles, Frequency};
 
+/// Attribution of one external send from
+/// [`ExternalNetwork::send_traced`]: the shares are exhaustive,
+/// `arrival == depart + queued + serialization + propagation` (all zero
+/// for a same-server send).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExternalSendTrace {
+    /// When the message arrives at the destination server.
+    pub arrival: Cycles,
+    /// Cycles queued behind earlier messages at the source NIC.
+    pub queued: Cycles,
+    /// NIC serialization cycles for this message.
+    pub serialization: Cycles,
+    /// One-way propagation delay charged.
+    pub propagation: Cycles,
+}
+
 /// The inter-server network: per-server NIC egress queues plus a fixed
 /// propagation delay.
 ///
@@ -81,19 +97,44 @@ impl ExternalNetwork {
     ///
     /// Panics if `src` or `dst` is out of range.
     pub fn send(&mut self, src: usize, dst: usize, bytes: u64, depart: Cycles) -> Cycles {
+        self.send_traced(src, dst, bytes, depart).arrival
+    }
+
+    /// Like [`Self::send`], returning the message's full latency
+    /// attribution for per-request breakdowns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `dst` is out of range.
+    pub fn send_traced(
+        &mut self,
+        src: usize,
+        dst: usize,
+        bytes: u64,
+        depart: Cycles,
+    ) -> ExternalSendTrace {
         assert!(
             src < self.servers && dst < self.servers,
             "server out of range"
         );
         if src == dst {
-            return depart;
+            return ExternalSendTrace {
+                arrival: depart,
+                ..ExternalSendTrace::default()
+            };
         }
         self.messages += 1;
         let ser = Cycles::new(((bytes as f64 / self.bytes_per_cycle).ceil() as u64).max(1));
         let start = depart.max(self.nic_free_at[src]);
-        self.queue_cycles += (start - depart).raw();
+        let queued = start - depart;
+        self.queue_cycles += queued.raw();
         self.nic_free_at[src] = start + ser;
-        start + ser + self.one_way
+        ExternalSendTrace {
+            arrival: start + ser + self.one_way,
+            queued,
+            serialization: ser,
+            propagation: self.one_way,
+        }
     }
 
     /// Uncontended one-way latency for `bytes`.
@@ -159,6 +200,30 @@ mod tests {
         let a = n.send(0, 2, 50, Cycles::ZERO);
         let b = n.send(1, 2, 50, Cycles::ZERO);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn traced_shares_are_exhaustive() {
+        let mut n = ExternalNetwork::new(2, Cycles::new(100), 1.0);
+        n.send(0, 1, 50, Cycles::ZERO);
+        let tr = n.send_traced(0, 1, 30, Cycles::new(10));
+        // Queues behind the first message's 50-cycle serialization.
+        assert_eq!(tr.queued, Cycles::new(40));
+        assert_eq!(tr.serialization, Cycles::new(30));
+        assert_eq!(tr.propagation, Cycles::new(100));
+        assert_eq!(
+            tr.arrival,
+            Cycles::new(10) + tr.queued + tr.serialization + tr.propagation
+        );
+    }
+
+    #[test]
+    fn traced_same_server_is_all_zero() {
+        let mut n = ExternalNetwork::new(2, Cycles::new(100), 1.0);
+        let tr = n.send_traced(1, 1, 999, Cycles::new(7));
+        assert_eq!(tr.arrival, Cycles::new(7));
+        assert_eq!(tr.queued + tr.serialization + tr.propagation, Cycles::ZERO);
+        assert_eq!(n.message_count(), 0);
     }
 
     #[test]

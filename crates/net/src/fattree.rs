@@ -71,6 +71,30 @@ impl FatTree {
         2 * self.leaves - 1
     }
 
+    /// Analytic hop count of the up/down route from `src` to `dst`: twice
+    /// the distance to the lowest common ancestor. Always equals
+    /// `route(src, dst, ..).len()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either leaf is out of range.
+    pub fn hops(&self, src: usize, dst: usize) -> usize {
+        assert!(
+            src < self.leaves && dst < self.leaves,
+            "node out of range: {src} or {dst} >= {}",
+            self.leaves
+        );
+        let mut a = self.heap_of_leaf(src);
+        let mut b = self.heap_of_leaf(dst);
+        let mut hops = 0;
+        while a != b {
+            a /= 2;
+            b /= 2;
+            hops += 2;
+        }
+        hops
+    }
+
     fn heap_of_leaf(&self, e: usize) -> usize {
         self.leaves + e
     }

@@ -75,6 +75,28 @@ impl LeafSpine {
         self.spines_per_pod
     }
 
+    /// Analytic hop count between two leaves: 0 to self, 2 within a pod,
+    /// 4 across pods. Always equals `route(src, dst, ..).len()` for every
+    /// chooser, since all equal-cost paths have the same length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either leaf is out of range.
+    pub fn hops(&self, src: usize, dst: usize) -> usize {
+        let n = self.endpoints();
+        assert!(
+            src < n && dst < n,
+            "node out of range: {src} or {dst} >= {n}"
+        );
+        if src == dst {
+            0
+        } else if self.pod_of(src) == self.pod_of(dst) {
+            2
+        } else {
+            4
+        }
+    }
+
     fn pod_of(&self, leaf: usize) -> usize {
         leaf / self.leaves_per_pod
     }

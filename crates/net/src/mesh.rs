@@ -88,6 +88,22 @@ impl Mesh2D {
         (self.cols, self.rows)
     }
 
+    /// Analytic hop count of the XY route from `src` to `dst`: the
+    /// Manhattan distance. Always equals `route(src, dst, ..).len()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range.
+    pub fn hops(&self, src: usize, dst: usize) -> usize {
+        assert!(
+            src < self.endpoints() && dst < self.endpoints(),
+            "node out of range"
+        );
+        let (sc, sr) = self.coords(src);
+        let (dc, dr) = self.coords(dst);
+        sc.abs_diff(dc) + sr.abs_diff(dr)
+    }
+
     fn coords(&self, node: usize) -> (usize, usize) {
         (node % self.cols, node / self.cols)
     }

@@ -89,6 +89,34 @@ impl NetworkStats {
     }
 }
 
+/// Full per-message transport attribution from [`Network::send_full`]:
+/// splits the message's latency into serialization, contention queueing
+/// and per-hop propagation, so callers can charge each to the right
+/// latency-breakdown component.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SendTrace {
+    /// When the message arrives at the destination.
+    pub arrival: Cycles,
+    /// Cycles spent waiting for busy links (contention).
+    pub queued: Cycles,
+    /// Cycles spent serializing onto links (sum over hops).
+    pub serialization: Cycles,
+    /// Links traversed (0 for a self-send).
+    pub hops: usize,
+}
+
+impl SendTrace {
+    /// Propagation share of the latency given the per-hop cost:
+    /// `hops * hop_latency` (one hop for a self-send).
+    pub fn propagation(&self, hop_latency: Cycles) -> Cycles {
+        if self.hops == 0 {
+            hop_latency
+        } else {
+            hop_latency * self.hops as u64
+        }
+    }
+}
+
 /// A topology plus per-link occupancy state: the deliverable-message ICN.
 ///
 /// # Examples
@@ -164,15 +192,30 @@ impl<T: Topology> Network<T> {
         bytes: u64,
         depart: Cycles,
     ) -> (Cycles, Cycles) {
+        let trace = self.send_full(src, dst, bytes, depart);
+        (trace.arrival, trace.queued)
+    }
+
+    /// Like [`Self::send`], returning the message's full latency
+    /// attribution. The shares are exhaustive:
+    /// `arrival == depart + serialization + queued + propagation`.
+    pub fn send_full(&mut self, src: usize, dst: usize, bytes: u64, depart: Cycles) -> SendTrace {
         let route = self.build_route(src, dst, depart);
         self.stats.messages += 1;
         if route.is_empty() {
-            return (depart + self.config.hop_latency, Cycles::ZERO);
+            return SendTrace {
+                arrival: depart + self.config.hop_latency,
+                queued: Cycles::ZERO,
+                serialization: Cycles::ZERO,
+                hops: 0,
+            };
         }
         let mut t = depart;
         let mut queued = Cycles::ZERO;
+        let mut ser_total = Cycles::ZERO;
         for &link in &route {
             let ser = self.serialization(bytes, link);
+            ser_total += ser;
             if self.config.contention {
                 let free = self.busy_until[link];
                 let start = t.max(free);
@@ -186,7 +229,12 @@ impl<T: Topology> Network<T> {
         self.stats.queue_cycles += queued.raw();
         self.stats.max_queue_cycles = self.stats.max_queue_cycles.max(queued.raw());
         self.stats.hops += route.len() as u64;
-        (t, queued)
+        SendTrace {
+            arrival: t,
+            queued,
+            serialization: ser_total,
+            hops: route.len(),
+        }
     }
 
     /// Latency of an uncontended transfer (for QoS baselines): same path
@@ -347,6 +395,34 @@ mod tests {
         };
         assert_eq!(run(1), run(1));
         assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn send_full_shares_are_exhaustive() {
+        let mut net = Network::new(Mesh2D::new(4, 1), NetworkConfig::on_package());
+        // Load the path, then send again: queueing appears and the shares
+        // must still telescope to the arrival time.
+        net.send(0, 3, 4096, Cycles::ZERO);
+        let depart = Cycles::new(10);
+        let tr = net.send_full(0, 3, 1024, depart);
+        assert_eq!(tr.hops, 3);
+        assert!(tr.queued > Cycles::ZERO);
+        assert_eq!(
+            tr.arrival,
+            depart + tr.serialization + tr.queued + tr.propagation(net.config().hop_latency)
+        );
+    }
+
+    #[test]
+    fn send_full_self_send() {
+        let mut net = Network::new(Mesh2D::new(2, 2), NetworkConfig::on_package());
+        let tr = net.send_full(1, 1, 64, Cycles::new(100));
+        assert_eq!(tr.hops, 0);
+        assert_eq!(tr.serialization, Cycles::ZERO);
+        assert_eq!(tr.queued, Cycles::ZERO);
+        let hop = net.config().hop_latency;
+        assert_eq!(tr.propagation(hop), hop);
+        assert_eq!(tr.arrival, Cycles::new(100) + hop);
     }
 
     #[test]

@@ -50,6 +50,15 @@ impl CtxSwitchModel {
         })
     }
 
+    /// The save (or restore) half of a switch: a block pays the save half
+    /// on the outgoing side and the restore half when the request is
+    /// re-dispatched. Rounds down; the halves are attribution quantities
+    /// (the request-path restore vs the core-path save), not timing — the
+    /// full [`CtxSwitchModel::cost`] still governs total switch time.
+    pub fn half_cost(self) -> Cycles {
+        Cycles::new(self.cost().raw() / 2)
+    }
+
     /// Whether switches are mediated by a centralized software dispatcher
     /// (and therefore contend for it).
     pub fn is_software(self) -> bool {
@@ -140,11 +149,19 @@ impl Dispatcher {
     /// Requests a dispatch at `now`; returns when the dispatcher completes
     /// this operation (start-of-switch time for the caller).
     pub fn dispatch(&mut self, now: Cycles) -> Cycles {
+        self.dispatch_traced(now).0
+    }
+
+    /// Traced [`Dispatcher::dispatch`]: also returns how long this
+    /// operation queued behind earlier switches — the dispatcher-contention
+    /// share of a context switch, for latency attribution.
+    pub fn dispatch_traced(&mut self, now: Cycles) -> (Cycles, Cycles) {
         let start = now.max(self.busy_until);
-        self.queue_cycles += (start - now).raw();
+        let queued = start - now;
+        self.queue_cycles += queued.raw();
         self.busy_until = start + self.op_cost;
         self.ops += 1;
-        self.busy_until
+        (self.busy_until, queued)
     }
 
     /// Operations served.
@@ -192,6 +209,30 @@ mod tests {
     fn custom_cost() {
         assert_eq!(CtxSwitchModel::Custom(777).cost(), Cycles::new(777));
         assert_eq!(CtxSwitchModel::Custom(777).to_string(), "custom(777)");
+    }
+
+    #[test]
+    fn half_cost_splits_the_switch() {
+        assert_eq!(CtxSwitchModel::Hardware.half_cost(), Cycles::new(96));
+        assert_eq!(CtxSwitchModel::Custom(777).half_cost(), Cycles::new(388));
+        for m in [
+            CtxSwitchModel::Hardware,
+            CtxSwitchModel::Shenango,
+            CtxSwitchModel::Linux,
+        ] {
+            assert!(m.half_cost() * 2 <= m.cost());
+        }
+    }
+
+    #[test]
+    fn dispatch_traced_reports_queueing() {
+        let mut d = Dispatcher::new(Cycles::new(10));
+        let (done, queued) = d.dispatch_traced(Cycles::ZERO);
+        assert_eq!((done, queued), (Cycles::new(10), Cycles::ZERO));
+        let (done, queued) = d.dispatch_traced(Cycles::new(4));
+        // Queues behind the first op: starts at 10, not 4.
+        assert_eq!((done, queued), (Cycles::new(20), Cycles::new(6)));
+        assert_eq!(d.queue_cycles(), 6);
     }
 
     #[test]

@@ -9,6 +9,7 @@ use rand::rngs::SmallRng;
 use rand::Rng;
 use std::collections::VecDeque;
 use um_sim::rng;
+use um_sim::Cycles;
 
 /// Configuration of a [`QueueFabric`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -65,11 +66,14 @@ impl FabricConfig {
 #[derive(Clone, Debug)]
 pub struct QueueFabric<T> {
     config: FabricConfig,
-    queues: Vec<VecDeque<T>>,
+    /// Each entry carries its enqueue time so the timed dequeue variants
+    /// can attribute queue wait; untimed callers stamp time zero.
+    queues: Vec<VecDeque<(T, Cycles)>>,
     rng: SmallRng,
     enqueued: u64,
     dequeued: u64,
     steals: u64,
+    wait_cycles: Cycles,
 }
 
 impl<T> QueueFabric<T> {
@@ -82,6 +86,7 @@ impl<T> QueueFabric<T> {
             enqueued: 0,
             dequeued: 0,
             steals: 0,
+            wait_cycles: Cycles::ZERO,
         }
     }
 
@@ -98,8 +103,14 @@ impl<T> QueueFabric<T> {
     /// Enqueues a request on a uniformly random queue (the paper's
     /// assignment policy) and returns the chosen queue.
     pub fn enqueue(&mut self, item: T) -> usize {
+        self.enqueue_timed(item, Cycles::ZERO)
+    }
+
+    /// Timed [`QueueFabric::enqueue`]: stamps the entry so
+    /// [`QueueFabric::dequeue_timed`] can report its queue wait.
+    pub fn enqueue_timed(&mut self, item: T, now: Cycles) -> usize {
         let q = self.rng.gen_range(0..self.config.queues);
-        self.enqueue_at(q, item);
+        self.enqueue_at_timed(q, item, now);
         q
     }
 
@@ -109,8 +120,17 @@ impl<T> QueueFabric<T> {
     ///
     /// Panics if `queue` is out of range.
     pub fn enqueue_at(&mut self, queue: usize, item: T) {
+        self.enqueue_at_timed(queue, item, Cycles::ZERO);
+    }
+
+    /// Timed [`QueueFabric::enqueue_at`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queue` is out of range.
+    pub fn enqueue_at_timed(&mut self, queue: usize, item: T, now: Cycles) {
         assert!(queue < self.config.queues, "queue {queue} out of range");
-        self.queues[queue].push_back(item);
+        self.queues[queue].push_back((item, now));
         self.enqueued += 1;
     }
 
@@ -122,11 +142,24 @@ impl<T> QueueFabric<T> {
     ///
     /// Panics if `core` is out of range.
     pub fn dequeue(&mut self, core: usize) -> Option<T> {
+        self.dequeue_timed(core, Cycles::ZERO).map(|(item, _)| item)
+    }
+
+    /// Timed [`QueueFabric::dequeue`]: additionally returns how long the
+    /// item waited since its timed enqueue (clamped at zero), and folds it
+    /// into [`QueueFabric::total_wait_cycles`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn dequeue_timed(&mut self, core: usize, now: Cycles) -> Option<(T, Cycles)> {
         assert!(core < self.config.cores, "core {core} out of range");
         let home = self.home_queue(core);
-        if let Some(item) = self.queues[home].pop_front() {
+        if let Some((item, since)) = self.queues[home].pop_front() {
             self.dequeued += 1;
-            return Some(item);
+            let wait = now.saturating_sub(since);
+            self.wait_cycles += wait;
+            return Some((item, wait));
         }
         if !self.config.work_stealing {
             return None;
@@ -134,10 +167,12 @@ impl<T> QueueFabric<T> {
         let n = self.config.queues;
         for off in 1..n {
             let q = (home + off) % n;
-            if let Some(item) = self.queues[q].pop_front() {
+            if let Some((item, since)) = self.queues[q].pop_front() {
                 self.dequeued += 1;
                 self.steals += 1;
-                return Some(item);
+                let wait = now.saturating_sub(since);
+                self.wait_cycles += wait;
+                return Some((item, wait));
             }
         }
         None
@@ -178,6 +213,12 @@ impl<T> QueueFabric<T> {
     /// Total dequeued.
     pub fn dequeue_count(&self) -> u64 {
         self.dequeued
+    }
+
+    /// Accumulated queue wait across all timed dequeues — the fabric's own
+    /// view of queue-wait attribution.
+    pub fn total_wait_cycles(&self) -> Cycles {
+        self.wait_cycles
     }
 }
 
@@ -262,6 +303,30 @@ mod tests {
     #[should_panic(expected = "queues must be in")]
     fn more_queues_than_cores_rejected() {
         FabricConfig::new(4, 8, false, 1);
+    }
+
+    #[test]
+    fn timed_dequeue_reports_wait() {
+        let mut f: QueueFabric<u32> = QueueFabric::new(FabricConfig::new(2, 2, true, 1));
+        f.enqueue_at_timed(0, 1, Cycles::new(100));
+        f.enqueue_at_timed(1, 2, Cycles::new(120));
+        let (item, wait) = f.dequeue_timed(0, Cycles::new(150)).unwrap();
+        assert_eq!((item, wait), (1, Cycles::new(50)));
+        // Core 0 steals from queue 1; the wait is still measured from the
+        // item's own enqueue time.
+        let (item, wait) = f.dequeue_timed(0, Cycles::new(200)).unwrap();
+        assert_eq!((item, wait), (2, Cycles::new(80)));
+        assert_eq!(f.total_wait_cycles(), Cycles::new(130));
+        assert_eq!(f.steal_count(), 1);
+    }
+
+    #[test]
+    fn untimed_ops_report_zero_wait() {
+        let mut f: QueueFabric<u32> = QueueFabric::new(FabricConfig::new(1, 1, false, 1));
+        f.enqueue(9);
+        let (item, wait) = f.dequeue_timed(0, Cycles::ZERO).unwrap();
+        assert_eq!((item, wait), (9, Cycles::ZERO));
+        assert_eq!(f.total_wait_cycles(), Cycles::ZERO);
     }
 
     #[test]

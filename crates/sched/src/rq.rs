@@ -3,6 +3,7 @@
 
 use crate::policy::DequeuePolicy;
 use std::collections::HashMap;
+use um_sim::Cycles;
 
 /// Status of one Request Queue entry (§4.3: "running, ready to run,
 /// blocked on an RPC, or finished").
@@ -62,6 +63,9 @@ struct Entry<T> {
     status: RqEntryStatus,
     service: u32,
     generation: u64,
+    /// When the entry last became Ready (enqueue or unblock); the timed
+    /// dequeue variants report `now - ready_since` as the queue wait.
+    ready_since: Cycles,
     ctx: T,
 }
 
@@ -104,6 +108,7 @@ pub struct RequestQueue<T> {
     next_generation: u64,
     enqueues: u64,
     rejections: u64,
+    ready_wait: Cycles,
 }
 
 impl<T> RequestQueue<T> {
@@ -123,6 +128,7 @@ impl<T> RequestQueue<T> {
             next_generation: 0,
             enqueues: 0,
             rejections: 0,
+            ready_wait: Cycles::ZERO,
         }
     }
 
@@ -154,6 +160,18 @@ impl<T> RequestQueue<T> {
     /// Returns [`RqError::Full`] when no slot is free; the caller (the
     /// village NIC) then buffers or rejects.
     pub fn enqueue(&mut self, service: u32, ctx: T) -> Result<RqSlot, RqError> {
+        self.enqueue_at(service, ctx, Cycles::ZERO)
+    }
+
+    /// Timed [`RequestQueue::enqueue`]: stamps the entry's ready time so
+    /// [`RequestQueue::dequeue_any_with_at`] can attribute queue wait.
+    /// Mix timed and untimed calls at your peril: untimed ops stamp time
+    /// zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RqError::Full`] when no slot is free.
+    pub fn enqueue_at(&mut self, service: u32, ctx: T, now: Cycles) -> Result<RqSlot, RqError> {
         if self.is_full() {
             self.rejections += 1;
             return Err(RqError::Full);
@@ -166,6 +184,7 @@ impl<T> RequestQueue<T> {
             status: RqEntryStatus::Ready,
             service,
             generation,
+            ready_since: now,
             ctx,
         });
         self.tail = (self.tail + 1) % self.slots.len();
@@ -182,7 +201,8 @@ impl<T> RequestQueue<T> {
 
     /// Claims the oldest ready entry of *any* service.
     pub fn dequeue_any(&mut self) -> Option<(RqSlot, &T)> {
-        self.dequeue_inner(None, DequeuePolicy::Fcfs, |_| 0)
+        self.dequeue_inner(None, DequeuePolicy::Fcfs, |_| 0, Cycles::ZERO)
+            .map(|(slot, ctx, _)| (slot, ctx))
     }
 
     /// Policy-parameterized dequeue across all services: FCFS takes the
@@ -192,7 +212,20 @@ impl<T> RequestQueue<T> {
         policy: DequeuePolicy,
         remaining: impl Fn(&T) -> u64,
     ) -> Option<(RqSlot, &T)> {
-        self.dequeue_inner(None, policy, remaining)
+        self.dequeue_inner(None, policy, remaining, Cycles::ZERO)
+            .map(|(slot, ctx, _)| (slot, ctx))
+    }
+
+    /// Timed [`RequestQueue::dequeue_any_with`]: additionally returns how
+    /// long the claimed entry sat Ready (`now - ready_since`, clamped at
+    /// zero), and folds it into [`RequestQueue::ready_wait_cycles`].
+    pub fn dequeue_any_with_at(
+        &mut self,
+        policy: DequeuePolicy,
+        remaining: impl Fn(&T) -> u64,
+        now: Cycles,
+    ) -> Option<(RqSlot, &T, Cycles)> {
+        self.dequeue_inner(None, policy, remaining, now)
     }
 
     /// Policy-parameterized dequeue: FCFS takes the oldest ready match;
@@ -203,7 +236,8 @@ impl<T> RequestQueue<T> {
         policy: DequeuePolicy,
         remaining: impl Fn(&T) -> u64,
     ) -> Option<(RqSlot, &T)> {
-        self.dequeue_inner(Some(service), policy, remaining)
+        self.dequeue_inner(Some(service), policy, remaining, Cycles::ZERO)
+            .map(|(slot, ctx, _)| (slot, ctx))
     }
 
     fn dequeue_inner(
@@ -211,7 +245,8 @@ impl<T> RequestQueue<T> {
         service: Option<u32>,
         policy: DequeuePolicy,
         remaining: impl Fn(&T) -> u64,
-    ) -> Option<(RqSlot, &T)> {
+        now: Cycles,
+    ) -> Option<(RqSlot, &T, Cycles)> {
         let cap = self.slots.len();
         let mut best: Option<(usize, u64)> = None;
         for off in 0..cap {
@@ -243,11 +278,13 @@ impl<T> RequestQueue<T> {
         let (idx, _) = best?;
         let entry = self.slots[idx].as_mut().expect("chosen slot occupied");
         entry.status = RqEntryStatus::Running;
+        let wait = now.saturating_sub(entry.ready_since);
+        self.ready_wait += wait;
         let slot = RqSlot {
             index: idx,
             generation: entry.generation,
         };
-        Some((slot, &self.slots[idx].as_ref().expect("occupied").ctx))
+        Some((slot, &self.slots[idx].as_ref().expect("occupied").ctx, wait))
     }
 
     fn entry_mut(&mut self, slot: RqSlot) -> Result<&mut Entry<T>, RqError> {
@@ -278,11 +315,22 @@ impl<T> RequestQueue<T> {
     ///
     /// [`RqError::StaleSlot`] / [`RqError::BadTransition`] as for `block`.
     pub fn unblock(&mut self, slot: RqSlot) -> Result<(), RqError> {
+        self.unblock_at(slot, Cycles::ZERO)
+    }
+
+    /// Timed [`RequestQueue::unblock`]: re-stamps the entry's ready time,
+    /// so the wait reported at dequeue covers only the post-unblock span.
+    ///
+    /// # Errors
+    ///
+    /// [`RqError::StaleSlot`] / [`RqError::BadTransition`] as for `block`.
+    pub fn unblock_at(&mut self, slot: RqSlot, now: Cycles) -> Result<(), RqError> {
         let e = self.entry_mut(slot)?;
         if e.status != RqEntryStatus::Blocked {
             return Err(RqError::BadTransition { found: e.status });
         }
         e.status = RqEntryStatus::Ready;
+        e.ready_since = now;
         Ok(())
     }
 
@@ -375,6 +423,13 @@ impl<T> RequestQueue<T> {
     /// Total rejected enqueues (RQ full).
     pub fn rejection_count(&self) -> u64 {
         self.rejections
+    }
+
+    /// Accumulated Ready-state residence across all timed dequeues — the
+    /// RQ's own view of queue-wait, cross-checked against the system
+    /// simulator's per-request attribution.
+    pub fn ready_wait_cycles(&self) -> Cycles {
+        self.ready_wait
     }
 }
 
@@ -732,6 +787,50 @@ mod tests {
         };
         assert_eq!(rq.block(9, fake), Err(RqError::StaleSlot));
         assert!(rq.dequeue(9).is_none());
+    }
+
+    #[test]
+    fn timed_dequeue_reports_ready_wait() {
+        let mut rq = RequestQueue::new(4);
+        rq.enqueue_at(1, "a", Cycles::new(100)).unwrap();
+        rq.enqueue_at(1, "b", Cycles::new(130)).unwrap();
+        let (_, &ctx, wait) = rq
+            .dequeue_any_with_at(DequeuePolicy::Fcfs, |_| 0, Cycles::new(150))
+            .unwrap();
+        assert_eq!(ctx, "a");
+        assert_eq!(wait, Cycles::new(50));
+        let (_, _, wait) = rq
+            .dequeue_any_with_at(DequeuePolicy::Fcfs, |_| 0, Cycles::new(160))
+            .unwrap();
+        assert_eq!(wait, Cycles::new(30));
+        assert_eq!(rq.ready_wait_cycles(), Cycles::new(80));
+    }
+
+    #[test]
+    fn unblock_at_restarts_the_wait_clock() {
+        let mut rq = RequestQueue::new(4);
+        let a = rq.enqueue_at(1, (), Cycles::new(0)).unwrap();
+        rq.dequeue_any_with_at(DequeuePolicy::Fcfs, |_| 0, Cycles::new(10))
+            .unwrap();
+        rq.block(a).unwrap();
+        rq.unblock_at(a, Cycles::new(500)).unwrap();
+        let (_, _, wait) = rq
+            .dequeue_any_with_at(DequeuePolicy::Fcfs, |_| 0, Cycles::new(520))
+            .unwrap();
+        // Only the post-unblock span counts, not the blocked interval.
+        assert_eq!(wait, Cycles::new(20));
+    }
+
+    #[test]
+    fn timed_dequeue_racing_insertion_clamps_to_zero() {
+        let mut rq = RequestQueue::new(4);
+        rq.enqueue_at(1, (), Cycles::new(100)).unwrap();
+        // A core dispatching "in the past" (insertion raced the idle scan)
+        // must see zero wait, not an underflow.
+        let (_, _, wait) = rq
+            .dequeue_any_with_at(DequeuePolicy::Fcfs, |_| 0, Cycles::new(40))
+            .unwrap();
+        assert_eq!(wait, Cycles::ZERO);
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //!   tie-breaking, generic over the event payload type.
 //! - [`rng`]: reproducible per-component random streams split from one master
 //!   seed, so every experiment is bit-reproducible.
+//! - [`trace`]: per-request latency provenance — a span taxonomy and
+//!   cycle-exact breakdown accumulator whose components sum to the
+//!   request's end-to-end latency (the conservation invariant).
 //!
 //! # Examples
 //!
@@ -35,6 +38,8 @@
 mod queue;
 pub mod rng;
 mod time;
+pub mod trace;
 
 pub use queue::EventQueue;
 pub use time::{Cycles, Frequency};
+pub use trace::{Component, LatencyBreakdown, NullSink, Span, TraceSink};
