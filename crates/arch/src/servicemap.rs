@@ -6,7 +6,7 @@
 //! forwarded to one of the hosting villages in round-robin order, entirely
 //! in hardware.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Identifier of a village within a package.
 pub type VillageId = usize;
@@ -28,7 +28,7 @@ pub type VillageId = usize;
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct ServiceMap {
-    entries: HashMap<u32, Row>,
+    entries: BTreeMap<u32, Row>,
 }
 
 #[derive(Clone, Debug, Default)]
@@ -109,7 +109,7 @@ mod tests {
         for v in [2, 5, 9] {
             m.register(1, v);
         }
-        let mut counts = HashMap::new();
+        let mut counts = BTreeMap::new();
         for _ in 0..300 {
             *counts
                 .entry(m.dispatch(1).expect("registered"))

@@ -13,6 +13,10 @@
 //! - `UM_SEED`: master seed (default 42).
 //! - `UM_THREADS`: sweep worker-pool size (default: all cores; `1`
 //!   forces serial execution). Results are bit-identical at any value.
+//! - `UM_SANITIZER`: set to `1` to require the runtime invariant
+//!   checkers. The checkers only exist when the binary was built with
+//!   `--features sim-sanitizer`; a binary built without it refuses to
+//!   run rather than silently skipping the checks.
 
 use umanycore::experiments::Scale;
 
@@ -42,11 +46,44 @@ pub fn scale_from_values(scale: Option<&str>, seed: Option<&str>) -> Scale {
     out
 }
 
-/// Prints the standard figure header.
+/// Prints the standard figure header, after honouring `UM_SANITIZER`.
+///
+/// # Panics
+///
+/// Panics when `UM_SANITIZER` requests the runtime checkers but the
+/// binary was built without the `sim-sanitizer` feature.
 pub fn banner(figure: &str, caption: &str) {
+    match sanitizer_status(
+        std::env::var("UM_SANITIZER").ok().as_deref(),
+        cfg!(feature = "sim-sanitizer"),
+    ) {
+        Ok(true) => eprintln!("um-bench: sim-sanitizer active (runtime invariant checkers on)"),
+        Ok(false) => {}
+        Err(msg) => panic!("{msg}"),
+    }
     println!("== {figure} ==");
     println!("{caption}");
     println!();
+}
+
+/// Resolves the `UM_SANITIZER` request against the compiled feature set:
+/// `Ok(true)` when the checkers are compiled in, `Ok(false)` when not
+/// requested, `Err` when requested but unavailable.
+///
+/// # Errors
+///
+/// Returns the refusal message when `var` requests the checkers but the
+/// binary was compiled without them.
+pub fn sanitizer_status(var: Option<&str>, compiled: bool) -> Result<bool, String> {
+    let requested = var.is_some_and(|v| !v.is_empty() && v != "0");
+    if requested && !compiled {
+        return Err(
+            "UM_SANITIZER is set but this binary was built without the `sim-sanitizer` \
+             feature; rebuild with `cargo run --release --features sim-sanitizer -p um-bench ...`"
+                .to_string(),
+        );
+    }
+    Ok(compiled)
 }
 
 #[cfg(test)]
@@ -82,5 +119,20 @@ mod tests {
     #[should_panic(expected = "UM_SEED must be an integer")]
     fn non_integer_seed_rejected() {
         scale_from_values(None, Some("forty-two"));
+    }
+
+    #[test]
+    fn sanitizer_request_without_feature_refused() {
+        assert!(sanitizer_status(Some("1"), false).is_err());
+        assert!(sanitizer_status(Some("yes"), false).is_err());
+    }
+
+    #[test]
+    fn sanitizer_not_requested_reports_compile_state() {
+        assert_eq!(sanitizer_status(None, false), Ok(false));
+        assert_eq!(sanitizer_status(Some("0"), false), Ok(false));
+        assert_eq!(sanitizer_status(Some(""), false), Ok(false));
+        assert_eq!(sanitizer_status(None, true), Ok(true));
+        assert_eq!(sanitizer_status(Some("1"), true), Ok(true));
     }
 }

@@ -282,7 +282,7 @@ struct Server {
     /// every service's snapshot when the machine carries pools.
     pools: Vec<um_mem::pool::MemoryPool>,
     /// Services with an instance boot in flight (stampede guard).
-    booting: std::collections::HashSet<u32>,
+    booting: std::collections::BTreeSet<u32>,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -497,7 +497,7 @@ impl SystemSim {
                 service_map,
                 busy_cycles: 0,
                 pools,
-                booting: std::collections::HashSet::new(),
+                booting: std::collections::BTreeSet::new(),
             });
         }
 
@@ -1298,6 +1298,37 @@ impl SystemSim {
     }
 
     fn into_report(mut self) -> RunReport {
+        // Request conservation: with the event queue drained, every admitted
+        // request must have reached Done and been counted exactly once.
+        #[cfg(feature = "sim-sanitizer")]
+        {
+            for (id, r) in self.requests.iter().enumerate() {
+                if r.phase != Phase::Done {
+                    um_sim::sanitizer::report(
+                        "request-conservation",
+                        format!(
+                            "request {id} ended the run in phase {:?}, not Done",
+                            r.phase
+                        ),
+                    );
+                }
+            }
+            if self.completed != self.requests.len() as u64 {
+                um_sim::sanitizer::report(
+                    "request-conservation",
+                    format!(
+                        "{} completions recorded for {} admitted requests",
+                        self.completed,
+                        self.requests.len()
+                    ),
+                );
+            }
+            um_sim::sanitizer::assert_clean(&format!(
+                "SystemSim run (seed {}, {} requests)",
+                self.cfg.seed,
+                self.requests.len()
+            ));
+        }
         self.latency.freeze();
         let total_core_cycles = (self.cfg.machine.total_cores() as u128)
             * (self.horizon.raw() as u128)

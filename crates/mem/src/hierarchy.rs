@@ -217,6 +217,13 @@ impl MemoryHierarchy {
 
     /// Performs one access at simulation time `now`; returns its latency.
     pub fn access(&mut self, addr: u64, kind: AccessKind, now: Cycles) -> Cycles {
+        let latency = self.access_inner(addr, kind, now);
+        #[cfg(feature = "sim-sanitizer")]
+        self.check_post_access(addr, kind);
+        latency
+    }
+
+    fn access_inner(&mut self, addr: u64, kind: AccessKind, now: Cycles) -> Cycles {
         let lat = self.config.latencies;
         let mut latency = Cycles::ZERO;
 
@@ -305,6 +312,34 @@ impl MemoryHierarchy {
             .expect("earliest exists");
         self.outstanding.swap_remove(idx);
         stall
+    }
+
+    /// Sanitizer hook: a demand access always ends with the line resident
+    /// in its L1 (hits trivially, misses via the fill), and the outstanding
+    /// miss list can never exceed the MSHR file.
+    #[cfg(feature = "sim-sanitizer")]
+    fn check_post_access(&self, addr: u64, kind: AccessKind) {
+        let l1 = if kind.is_instr() {
+            &self.l1i
+        } else {
+            &self.l1d
+        };
+        if !l1.probe(addr) {
+            um_sim::sanitizer::report(
+                "cache-residency",
+                format!("address {addr:#x} absent from L1 after a demand access"),
+            );
+        }
+        if self.outstanding.len() > self.config.mshrs {
+            um_sim::sanitizer::report(
+                "mshr-leak",
+                format!(
+                    "{} outstanding misses exceed the {}-entry MSHR file",
+                    self.outstanding.len(),
+                    self.config.mshrs
+                ),
+            );
+        }
     }
 
     /// Per-level counters.

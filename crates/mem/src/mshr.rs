@@ -4,7 +4,7 @@
 //! *distinct* outstanding misses; secondary misses to an already-pending
 //! line merge into the existing entry instead of consuming a new one.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Result of attempting to allocate an MSHR for a missing line.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -37,7 +37,7 @@ pub enum MshrOutcome {
 pub struct MshrFile {
     capacity: usize,
     // line address -> number of merged (secondary) requests
-    pending: HashMap<u64, u64>,
+    pending: BTreeMap<u64, u64>,
     stalls: u64,
     merges: u64,
 }
@@ -52,7 +52,7 @@ impl MshrFile {
         assert!(capacity > 0, "an MSHR file needs at least one entry");
         Self {
             capacity,
-            pending: HashMap::new(),
+            pending: BTreeMap::new(),
             stalls: 0,
             merges: 0,
         }
@@ -105,6 +105,19 @@ impl MshrFile {
     /// Total secondary misses merged.
     pub fn merge_count(&self) -> u64 {
         self.merges
+    }
+
+    /// Sanitizer hook: reports an `mshr-leak` violation for every entry
+    /// still pending when the caller believes the file should be drained
+    /// (end of simulation, core quiesce).
+    #[cfg(feature = "sim-sanitizer")]
+    pub fn check_drained(&self, context: &str) {
+        for (line, merged) in &self.pending {
+            um_sim::sanitizer::report(
+                "mshr-leak",
+                format!("{context}: line {line:#x} still pending ({merged} merged) at drain"),
+            );
+        }
     }
 }
 

@@ -6,7 +6,7 @@
 //! boot/initialization path, cutting instance creation from ~300 ms to
 //! under 10 ms (paper, citing Catalyzer-style snapshot restore).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use um_sim::{Cycles, Frequency};
 
 /// Why a snapshot could not be stored.
@@ -58,7 +58,7 @@ pub struct MemoryPool {
     capacity_bytes: u64,
     used_bytes: u64,
     /// service id -> (snapshot bytes, LRU stamp)
-    snapshots: HashMap<u32, (u64, u64)>,
+    snapshots: BTreeMap<u32, (u64, u64)>,
     clock: u64,
     hits: u64,
     misses: u64,
@@ -82,7 +82,7 @@ impl MemoryPool {
         Self {
             capacity_bytes,
             used_bytes: 0,
-            snapshots: HashMap::new(),
+            snapshots: BTreeMap::new(),
             clock: 0,
             hits: 0,
             misses: 0,
@@ -129,7 +129,25 @@ impl MemoryPool {
         }
         self.snapshots.insert(service, (bytes, self.clock));
         self.used_bytes += bytes;
+        #[cfg(feature = "sim-sanitizer")]
+        self.check_accounting();
         Ok(())
+    }
+
+    /// Sanitizer hook: the resident snapshot sizes must sum to `used_bytes`
+    /// and stay within capacity, or the LRU bookkeeping has drifted.
+    #[cfg(feature = "sim-sanitizer")]
+    fn check_accounting(&self) {
+        let sum: u64 = self.snapshots.values().map(|(bytes, _)| *bytes).sum();
+        if sum != self.used_bytes || self.used_bytes > self.capacity_bytes {
+            um_sim::sanitizer::report(
+                "pool-accounting",
+                format!(
+                    "snapshot bytes sum to {sum} but used_bytes is {} (capacity {})",
+                    self.used_bytes, self.capacity_bytes
+                ),
+            );
+        }
     }
 
     /// Whether a snapshot for `service` is resident.

@@ -4,7 +4,7 @@
 //! ICNs whose contention Figure 7 quantifies on the ScaleOut manycore.
 
 use crate::topology::{LinkId, Topology};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A 2D mesh of endpoint routers with XY (X first, then Y) routing.
 ///
@@ -25,7 +25,7 @@ pub struct Mesh2D {
     cols: usize,
     rows: usize,
     /// (from, to) -> link id
-    link_ids: HashMap<(usize, usize), LinkId>,
+    link_ids: BTreeMap<(usize, usize), LinkId>,
     num_links: usize,
 }
 
@@ -37,7 +37,7 @@ impl Mesh2D {
     /// Panics if either dimension is zero.
     pub fn new(cols: usize, rows: usize) -> Self {
         assert!(cols > 0 && rows > 0, "mesh dimensions must be nonzero");
-        let mut link_ids = HashMap::new();
+        let mut link_ids = BTreeMap::new();
         let mut next = 0;
         let id = |c: usize, r: usize| r * cols + c;
         for r in 0..rows {

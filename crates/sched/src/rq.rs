@@ -2,7 +2,7 @@
 //! partitioned extension.
 
 use crate::policy::DequeuePolicy;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use um_sim::Cycles;
 
 /// Status of one Request Queue entry (§4.3: "running, ready to run,
@@ -190,7 +190,35 @@ impl<T> RequestQueue<T> {
         self.tail = (self.tail + 1) % self.slots.len();
         self.len += 1;
         self.enqueues += 1;
+        #[cfg(feature = "sim-sanitizer")]
+        self.check_occupancy();
         Ok(RqSlot { index, generation })
+    }
+
+    /// Sanitizer hook: the cached `len` must equal the number of occupied
+    /// slots, or the circular-buffer bookkeeping has drifted.
+    #[cfg(feature = "sim-sanitizer")]
+    fn check_occupancy(&self) {
+        let occupied = self.slots.iter().filter(|s| s.is_some()).count();
+        if occupied != self.len {
+            um_sim::sanitizer::report(
+                "rq-occupancy",
+                format!(
+                    "request queue len {} disagrees with {occupied} occupied slot(s)",
+                    self.len
+                ),
+            );
+        }
+    }
+
+    /// Corrupts the cached occupancy counter.
+    ///
+    /// Exists only so sanitizer tests can verify the `rq-occupancy` checker
+    /// fires; never call this from simulation code.
+    #[cfg(feature = "sim-sanitizer")]
+    #[doc(hidden)]
+    pub fn corrupt_len_for_sanitizer_test(&mut self, len: usize) {
+        self.len = len;
     }
 
     /// The `Dequeue` instruction: claims the ready entry closest to the
@@ -362,6 +390,8 @@ impl<T> RequestQueue<T> {
                 _ => break,
             }
         }
+        #[cfg(feature = "sim-sanitizer")]
+        self.check_occupancy();
     }
 
     /// Status of an entry; `None` for stale handles.
@@ -456,7 +486,7 @@ impl<T> RequestQueue<T> {
 #[derive(Clone, Debug)]
 pub struct PartitionedRq<T> {
     total_capacity: usize,
-    partitions: HashMap<u32, RequestQueue<T>>,
+    partitions: BTreeMap<u32, RequestQueue<T>>,
     default_share: usize,
 }
 
@@ -470,7 +500,7 @@ impl<T> PartitionedRq<T> {
         assert!(total_capacity > 0, "need nonzero capacity");
         Self {
             total_capacity,
-            partitions: HashMap::new(),
+            partitions: BTreeMap::new(),
             default_share: total_capacity,
         }
     }

@@ -1,0 +1,40 @@
+//! Deliberate-violation tests for the `sim-sanitizer` run-queue checker:
+//! a corrupted occupancy counter must surface as a structured violation,
+//! and a full request lifecycle must leave the registry empty.
+#![cfg(feature = "sim-sanitizer")]
+
+use um_sched::RequestQueue;
+use um_sim::sanitizer;
+
+#[test]
+fn corrupted_occupancy_is_reported() {
+    let _ = sanitizer::take();
+    let mut rq = RequestQueue::new(4);
+    rq.enqueue(1, ()).unwrap();
+    rq.corrupt_len_for_sanitizer_test(3);
+    rq.enqueue(1, ()).unwrap();
+    let violations = sanitizer::take();
+    assert!(
+        violations.iter().any(|v| v.checker == "rq-occupancy"),
+        "occupancy drift reported: {violations:?}"
+    );
+}
+
+#[test]
+fn full_lifecycle_stays_clean() {
+    let _ = sanitizer::take();
+    let mut rq = RequestQueue::new(4);
+    for round in 0..16u32 {
+        let a = rq.enqueue(round % 3, round).unwrap();
+        let b = rq.enqueue(round % 3, round + 100).unwrap();
+        rq.dequeue(round % 3).unwrap();
+        rq.block(a).unwrap();
+        rq.dequeue(round % 3).unwrap();
+        rq.unblock(a).unwrap();
+        rq.complete(b).unwrap();
+        rq.dequeue(round % 3).unwrap();
+        rq.complete(a).unwrap();
+    }
+    assert!(rq.is_empty());
+    assert_eq!(sanitizer::violation_count(), 0);
+}

@@ -37,6 +37,8 @@
 
 mod queue;
 pub mod rng;
+#[cfg(feature = "sim-sanitizer")]
+pub mod sanitizer;
 mod time;
 pub mod trace;
 

@@ -102,10 +102,41 @@ impl<E> EventQueue<E> {
         self.schedule_at(self.now.saturating_add(delay), event);
     }
 
+    /// Schedules `event` at `at` without the causality assertion.
+    ///
+    /// Exists only so sanitizer tests can inject an out-of-order event and
+    /// assert the `event-monotonicity` checker reports it; simulation code
+    /// must use [`Self::schedule_at`].
+    #[cfg(feature = "sim-sanitizer")]
+    #[doc(hidden)]
+    pub fn schedule_at_unchecked(&mut self, at: Cycles, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry {
+            time: at,
+            seq,
+            event,
+        });
+    }
+
     /// Removes and returns the earliest event, advancing the clock to its
     /// timestamp. Returns `None` when the queue is drained.
     pub fn pop(&mut self) -> Option<(Cycles, E)> {
         let entry = self.heap.pop()?;
+        // With the sanitizer on, a causality break becomes a structured
+        // violation the caller can observe; without it, it stays the
+        // debug assertion it always was.
+        #[cfg(feature = "sim-sanitizer")]
+        if entry.time < self.now {
+            crate::sanitizer::report(
+                "event-monotonicity",
+                format!(
+                    "event queue produced an out-of-order event: time {} behind clock {}",
+                    entry.time, self.now
+                ),
+            );
+        }
+        #[cfg(not(feature = "sim-sanitizer"))]
         debug_assert!(entry.time >= self.now, "heap produced out-of-order event");
         self.now = entry.time;
         Some((entry.time, entry.event))

@@ -1,0 +1,129 @@
+//! Opt-in runtime simulation sanitizer (the `sim-sanitizer` feature).
+//!
+//! The static pass (`um-tidy`) keeps nondeterminism out of the source;
+//! this module catches *model corruption* at runtime: out-of-order events,
+//! leaked MSHR entries, run-queue occupancy drift, requests that vanish
+//! without completing. Each checker reports a structured [`Violation`]
+//! into a thread-local registry instead of silently producing a wrong
+//! number; the system simulator drains the registry at report time and
+//! panics if anything accumulated ([`assert_clean`]).
+//!
+//! The registry is thread-local on purpose: every simulation runs on one
+//! thread (the sweep runner hands whole configurations to workers), so a
+//! violation is always observed by the run that caused it, and parallel
+//! test binaries cannot cross-contaminate.
+//!
+//! With the feature disabled this module is not compiled and every checker
+//! call site is `#[cfg]`-ed out — zero overhead, bit-identical behaviour.
+//!
+//! # Examples
+//!
+//! ```
+//! use um_sim::sanitizer;
+//!
+//! sanitizer::report("example-checker", "manual violation".to_string());
+//! let violations = sanitizer::take();
+//! assert_eq!(violations.len(), 1);
+//! assert_eq!(violations[0].checker, "example-checker");
+//! assert_eq!(sanitizer::violation_count(), 0); // take() drains
+//! ```
+
+use std::cell::RefCell;
+use std::fmt;
+
+/// One invariant violation observed by a runtime checker.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Which checker fired (e.g. `event-monotonicity`, `mshr-leak`).
+    pub checker: &'static str,
+    /// What went wrong, with the values involved.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.checker, self.message)
+    }
+}
+
+thread_local! {
+    static VIOLATIONS: RefCell<Vec<Violation>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Records a violation in this thread's registry.
+pub fn report(checker: &'static str, message: String) {
+    VIOLATIONS.with(|v| v.borrow_mut().push(Violation { checker, message }));
+}
+
+/// Number of violations recorded on this thread since the last [`take`].
+pub fn violation_count() -> usize {
+    VIOLATIONS.with(|v| v.borrow().len())
+}
+
+/// Drains and returns this thread's recorded violations.
+pub fn take() -> Vec<Violation> {
+    VIOLATIONS.with(|v| std::mem::take(&mut *v.borrow_mut()))
+}
+
+/// Drains the registry and panics with a formatted list if any checker
+/// fired. `context` names the run being checked (seed, config, …).
+///
+/// # Panics
+///
+/// Panics when at least one violation was recorded on this thread.
+pub fn assert_clean(context: &str) {
+    let violations = take();
+    if !violations.is_empty() {
+        let mut msg = format!(
+            "sim-sanitizer: {} violation(s) in {context}:\n",
+            violations.len()
+        );
+        for v in &violations {
+            msg.push_str("  ");
+            msg.push_str(&v.to_string());
+            msg.push('\n');
+        }
+        panic!("{msg}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_take_roundtrip() {
+        assert_eq!(violation_count(), 0);
+        report("test-checker", "a".into());
+        report("test-checker", "b".into());
+        assert_eq!(violation_count(), 2);
+        let got = take();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].message, "a");
+        assert_eq!(violation_count(), 0);
+    }
+
+    #[test]
+    fn assert_clean_passes_when_empty() {
+        let _ = take();
+        assert_clean("empty registry");
+    }
+
+    #[test]
+    #[should_panic(expected = "sim-sanitizer: 1 violation(s) in demo run")]
+    fn assert_clean_panics_with_context() {
+        report("demo-checker", "injected".into());
+        assert_clean("demo run");
+    }
+
+    #[test]
+    fn registries_are_thread_local() {
+        let _ = take();
+        report("local", "stays here".into());
+        let other = std::thread::spawn(violation_count)
+            .join()
+            .expect("probe thread");
+        assert_eq!(other, 0, "fresh thread sees an empty registry");
+        assert_eq!(take().len(), 1);
+    }
+}

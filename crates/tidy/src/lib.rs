@@ -1,0 +1,698 @@
+//! `um-tidy`: the workspace's determinism-and-invariant static analysis
+//! pass.
+//!
+//! The simulator's headline guarantees — bit-identical results at any
+//! `UM_THREADS`, cycle-exact latency conservation — are only as strong as
+//! the code's discipline about ordered iteration, seeded randomness and
+//! overflow-safe cycle arithmetic. This crate enforces that discipline
+//! statically, the way rust-lang/rust's `tidy` pass guards its tree: a
+//! line-oriented scanner with a small, documented rule set, file:line
+//! diagnostics, and an explicit escape hatch:
+//!
+//! ```text
+//! // um-tidy: allow(unordered-container) -- iteration order never escapes
+//! ```
+//!
+//! The directive goes on the offending line or the line directly above it,
+//! and the `-- <reason>` justification is mandatory — an allow without a
+//! reason is itself a violation.
+//!
+//! # Rules
+//!
+//! | Rule | Denies | Where |
+//! |------|--------|-------|
+//! | `unordered-container` | `HashMap`/`HashSet` (unordered iteration) | sim-state crates, non-test code |
+//! | `wall-clock` | `Instant::now`, `SystemTime` | everywhere but `um-bench` |
+//! | `unseeded-rng` | `thread_rng`, `from_entropy` | everywhere but `um-bench` |
+//! | `cycle-trunc-cast` | `as u32`/`as usize`/… on cycle/latency values | non-test code |
+//! | `cycle-float-cmp` | `==`/`!=` on float cycle/latency values | non-test code |
+//! | `debug-macro` | `dbg!`, `todo!`, `unimplemented!` | non-test code |
+//! | `ignore-without-reason` | bare `#[ignore]` | everywhere |
+//! | `unsafe-without-safety` | `unsafe` without a `// SAFETY:` comment | everywhere |
+//! | `allow-syntax` | malformed/unknown `um-tidy:` directives | everywhere |
+//!
+//! "Sim-state crates" are every `crates/*` member except `um-bench` (which
+//! measures wall time by design) and `um-tidy` itself. Test code — files
+//! under a `tests/` directory and everything at or below a file's first
+//! `#[cfg(test)]` — is exempt from the rules that only protect simulation
+//! state, because a test-local map whose iteration order never reaches an
+//! assertion cannot break reproducibility.
+//!
+//! Matching is lexical: string literals and `//` comments are stripped
+//! before rules run, so mentioning `HashMap` in a doc comment is fine.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Every rule the pass knows, in diagnostic-id order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// `HashMap`/`HashSet` in sim-state code.
+    UnorderedContainer,
+    /// `Instant::now` / `SystemTime` outside `um-bench`.
+    WallClock,
+    /// `thread_rng` / `from_entropy` outside `um-bench`.
+    UnseededRng,
+    /// Truncating cast on a cycle/latency-named value.
+    CycleTruncCast,
+    /// Float equality on a cycle/latency-named value.
+    CycleFloatCmp,
+    /// `dbg!` / `todo!` / `unimplemented!` in non-test code.
+    DebugMacro,
+    /// `#[ignore]` without a reason string.
+    IgnoreWithoutReason,
+    /// `unsafe` without a `// SAFETY:` comment.
+    UnsafeWithoutSafety,
+    /// Malformed or unknown `um-tidy:` directive.
+    AllowSyntax,
+}
+
+impl Rule {
+    /// All rules, for `--list-rules` and the allow-directive parser.
+    pub const ALL: [Rule; 9] = [
+        Rule::UnorderedContainer,
+        Rule::WallClock,
+        Rule::UnseededRng,
+        Rule::CycleTruncCast,
+        Rule::CycleFloatCmp,
+        Rule::DebugMacro,
+        Rule::IgnoreWithoutReason,
+        Rule::UnsafeWithoutSafety,
+        Rule::AllowSyntax,
+    ];
+
+    /// The id used in diagnostics and `allow(...)` directives.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::UnorderedContainer => "unordered-container",
+            Rule::WallClock => "wall-clock",
+            Rule::UnseededRng => "unseeded-rng",
+            Rule::CycleTruncCast => "cycle-trunc-cast",
+            Rule::CycleFloatCmp => "cycle-float-cmp",
+            Rule::DebugMacro => "debug-macro",
+            Rule::IgnoreWithoutReason => "ignore-without-reason",
+            Rule::UnsafeWithoutSafety => "unsafe-without-safety",
+            Rule::AllowSyntax => "allow-syntax",
+        }
+    }
+
+    /// One-line description for `--list-rules` and the DESIGN.md table.
+    pub fn summary(self) -> &'static str {
+        match self {
+            Rule::UnorderedContainer => {
+                "HashMap/HashSet iteration order is nondeterministic; use BTreeMap/BTreeSet \
+                 in sim-state code"
+            }
+            Rule::WallClock => {
+                "wall-clock reads (Instant::now, SystemTime) break reproducibility; only \
+                 um-bench may time things"
+            }
+            Rule::UnseededRng => {
+                "entropy-seeded RNGs (thread_rng, from_entropy) break reproducibility; derive \
+                 seeds via um_sim::rng"
+            }
+            Rule::CycleTruncCast => {
+                "truncating casts on cycle/latency values silently wrap; use u64/u128 totals \
+                 or checked/saturating conversions"
+            }
+            Rule::CycleFloatCmp => {
+                "float equality on cycle/latency values is precision-dependent; compare in \
+                 integer Cycles or use an epsilon"
+            }
+            Rule::DebugMacro => "dbg!/todo!/unimplemented! must not reach non-test code",
+            Rule::IgnoreWithoutReason => "#[ignore] needs a reason string: #[ignore = \"why\"]",
+            Rule::UnsafeWithoutSafety => "unsafe blocks need a // SAFETY: comment justifying them",
+            Rule::AllowSyntax => {
+                "um-tidy directives must be `// um-tidy: allow(<rule>) -- <reason>` with a \
+                 known rule id and a nonempty reason"
+            }
+        }
+    }
+
+    fn from_id(id: &str) -> Option<Rule> {
+        Rule::ALL.iter().copied().find(|r| r.id() == id)
+    }
+}
+
+/// One finding: a rule violated at a file:line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The violated rule.
+    pub rule: Rule,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path,
+            self.line,
+            self.rule.id(),
+            self.message
+        )
+    }
+}
+
+/// Where a file sits in the workspace, deciding which rules apply.
+#[derive(Clone, Debug)]
+struct FileContext {
+    /// `crates/<name>/…` member name, if any.
+    krate: Option<String>,
+    /// The whole file is test code (under a `tests/` directory).
+    test_file: bool,
+}
+
+impl FileContext {
+    fn from_path(rel_path: &str) -> Self {
+        let norm = rel_path.replace('\\', "/");
+        let krate = norm
+            .strip_prefix("crates/")
+            .and_then(|rest| rest.split('/').next())
+            .map(str::to_owned);
+        let test_file = norm.starts_with("tests/") || norm.contains("/tests/");
+        Self { krate, test_file }
+    }
+
+    /// Sim-state crates: every workspace member under `crates/` except the
+    /// bench harness (wall-clock by design) and this pass itself.
+    fn is_sim_state_crate(&self) -> bool {
+        matches!(&self.krate, Some(k) if k != "bench" && k != "tidy")
+    }
+
+    /// Wall-clock and entropy rules run everywhere except `um-bench`
+    /// (Criterion interop) and this crate.
+    fn bans_wall_clock(&self) -> bool {
+        !matches!(&self.krate, Some(k) if k == "bench" || k == "tidy")
+    }
+}
+
+/// Splits a source line into code (string-literal contents stripped) and
+/// the `//` comment tail, if any. Rules match against the code part;
+/// `um-tidy:` directives are parsed from the comment part only, so a
+/// diagnostic message mentioning the directive syntax in a string literal
+/// is not itself a directive.
+fn split_code_comment(line: &str) -> (String, Option<&str>) {
+    let mut code = String::with_capacity(line.len());
+    let mut in_string = false;
+    let mut iter = line.char_indices().peekable();
+    while let Some((at, c)) = iter.next() {
+        if in_string {
+            if c == '\\' {
+                // Skip the escaped character entirely.
+                iter.next();
+            } else if c == '"' {
+                in_string = false;
+                code.push('"');
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                // A char literal like b'"' would confuse this; the rules
+                // only need a best-effort strip and the workspace has no
+                // such literals on rule-relevant lines.
+                in_string = true;
+                code.push('"');
+            }
+            '/' if iter.peek().map(|&(_, c2)| c2) == Some('/') => {
+                return (code, Some(&line[at..]));
+            }
+            _ => code.push(c),
+        }
+    }
+    (code, None)
+}
+
+/// Rule-matching view of a line: code only, strings and comments stripped.
+#[cfg(test)]
+fn clean_line(line: &str) -> String {
+    split_code_comment(line).0
+}
+
+/// Whether `hay` contains `needle` as a standalone word (no identifier
+/// character on either side).
+fn contains_word(hay: &str, needle: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = hay[start..].find(needle) {
+        let at = start + pos;
+        let before_ok = at == 0
+            || !hay[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = at + needle.len();
+        let after_ok = after >= hay.len()
+            || !hay[after..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + needle.len();
+    }
+    false
+}
+
+/// Whether the line mentions a cycle/latency-ish quantity.
+fn names_cycles(cleaned_lower: &str) -> bool {
+    cleaned_lower.contains("cycle") || cleaned_lower.contains("latency")
+}
+
+/// Whether the line contains float evidence: an `as f64`/`as f32` cast or
+/// a floating-point literal (`digit . digit`).
+fn has_float(cleaned: &str) -> bool {
+    if cleaned.contains(" as f64") || cleaned.contains(" as f32") {
+        return true;
+    }
+    let bytes = cleaned.as_bytes();
+    bytes
+        .windows(3)
+        .any(|w| w[1] == b'.' && w[0].is_ascii_digit() && w[2].is_ascii_digit())
+}
+
+/// Parses every `um-tidy:` directive on a raw source line.
+///
+/// Returns the successfully parsed allowed rules and pushes `allow-syntax`
+/// diagnostics for malformed ones.
+fn parse_directives(
+    raw: &str,
+    path: &str,
+    line_no: usize,
+    diags: &mut Vec<Diagnostic>,
+) -> Vec<Rule> {
+    let mut allowed = Vec::new();
+    let mut search = 0;
+    while let Some(pos) = raw[search..].find("um-tidy:") {
+        let at = search + pos;
+        let rest = &raw[at + "um-tidy:".len()..];
+        search = at + "um-tidy:".len();
+        let rest = rest.trim_start();
+        if !rest.starts_with("allow") {
+            // Prose mentioning "um-tidy:" (docs, this file) is not a
+            // directive attempt; only `allow...` shapes are validated.
+            continue;
+        }
+        let Some(args) = rest.strip_prefix("allow(") else {
+            diags.push(Diagnostic {
+                path: path.to_owned(),
+                line: line_no,
+                rule: Rule::AllowSyntax,
+                message: "directive must be `um-tidy: allow(<rule>) -- <reason>`".into(),
+            });
+            continue;
+        };
+        let Some(close) = args.find(')') else {
+            diags.push(Diagnostic {
+                path: path.to_owned(),
+                line: line_no,
+                rule: Rule::AllowSyntax,
+                message: "unterminated `allow(` directive".into(),
+            });
+            continue;
+        };
+        let ids = &args[..close];
+        let tail = args[close + 1..].trim_start();
+        let reason_ok = tail
+            .strip_prefix("--")
+            .is_some_and(|r| !r.trim().is_empty());
+        if !reason_ok {
+            diags.push(Diagnostic {
+                path: path.to_owned(),
+                line: line_no,
+                rule: Rule::AllowSyntax,
+                message: format!(
+                    "allow({ids}) needs a justification: `-- <reason>` after the closing paren"
+                ),
+            });
+            continue;
+        }
+        for id in ids.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            match Rule::from_id(id) {
+                Some(rule) => allowed.push(rule),
+                None => diags.push(Diagnostic {
+                    path: path.to_owned(),
+                    line: line_no,
+                    rule: Rule::AllowSyntax,
+                    message: format!("unknown rule `{id}` in allow directive"),
+                }),
+            }
+        }
+    }
+    allowed
+}
+
+/// Checks one file's source, returning diagnostics sorted by line.
+///
+/// `rel_path` decides which rules apply (crate membership, test files) and
+/// appears verbatim in diagnostics.
+pub fn check_source(rel_path: &str, source: &str) -> Vec<Diagnostic> {
+    let ctx = FileContext::from_path(rel_path);
+    let path = rel_path.replace('\\', "/");
+    let mut diags = Vec::new();
+    let mut in_test = ctx.test_file;
+    // Directives on their own comment line apply to the next code line.
+    let mut pending_allows: Vec<Rule> = Vec::new();
+    let lines: Vec<&str> = source.lines().collect();
+
+    for (idx, raw) in lines.iter().enumerate() {
+        let line_no = idx + 1;
+        let (cleaned, comment) = split_code_comment(raw);
+        let line_allows = match comment {
+            Some(c) => parse_directives(c, &path, line_no, &mut diags),
+            None => Vec::new(),
+        };
+        let trimmed = raw.trim_start();
+        if trimmed.starts_with("//") {
+            // Pure comment line: its allows stack for the next code line.
+            pending_allows.extend(line_allows);
+            continue;
+        }
+        let mut allows = line_allows;
+        allows.append(&mut pending_allows);
+
+        if cleaned.contains("#[cfg(test)]") || cleaned.contains("#[cfg(all(test") {
+            in_test = true;
+        }
+
+        let flag = |rule: Rule, message: String, diags: &mut Vec<Diagnostic>| {
+            if !allows.contains(&rule) {
+                diags.push(Diagnostic {
+                    path: path.clone(),
+                    line: line_no,
+                    rule,
+                    message,
+                });
+            }
+        };
+
+        // -- determinism rules ------------------------------------------
+        if ctx.is_sim_state_crate()
+            && !in_test
+            && (contains_word(&cleaned, "HashMap") || contains_word(&cleaned, "HashSet"))
+        {
+            flag(
+                Rule::UnorderedContainer,
+                "unordered container in sim-state code: iteration order varies across runs; \
+                 use BTreeMap/BTreeSet (or justify with an allow)"
+                    .into(),
+                &mut diags,
+            );
+        }
+        if ctx.bans_wall_clock() {
+            for pat in ["Instant::now", "SystemTime"] {
+                if cleaned.contains(pat) {
+                    flag(
+                        Rule::WallClock,
+                        format!(
+                            "`{pat}` reads the wall clock: simulation results must depend only \
+                             on the seed; only um-bench may time things"
+                        ),
+                        &mut diags,
+                    );
+                }
+            }
+            for pat in ["thread_rng", "from_entropy"] {
+                if contains_word(&cleaned, pat) {
+                    flag(
+                        Rule::UnseededRng,
+                        format!(
+                            "`{pat}` seeds from OS entropy: derive a per-component stream from \
+                             the master seed via um_sim::rng instead"
+                        ),
+                        &mut diags,
+                    );
+                }
+            }
+        }
+
+        // -- cycle-arithmetic rules -------------------------------------
+        if !in_test {
+            let lower = cleaned.to_lowercase();
+            if names_cycles(&lower) {
+                for cast in [" as u32", " as usize", " as u16", " as u8"] {
+                    if cleaned.contains(cast) {
+                        flag(
+                            Rule::CycleTruncCast,
+                            format!(
+                                "truncating `{}` on a cycle/latency value can silently wrap at \
+                                 long horizons; accumulate in u64/u128 or use try_into/checked \
+                                 conversions",
+                                cast.trim_start()
+                            ),
+                            &mut diags,
+                        );
+                        break;
+                    }
+                }
+                if (cleaned.contains("==") || cleaned.contains("!="))
+                    && !cleaned.contains("==>")
+                    && has_float(&cleaned)
+                {
+                    flag(
+                        Rule::CycleFloatCmp,
+                        "float equality on a cycle/latency value depends on rounding; compare \
+                         integer Cycles or use an explicit tolerance"
+                            .into(),
+                        &mut diags,
+                    );
+                }
+            }
+
+            // -- hygiene: debug macros ----------------------------------
+            for mac in ["dbg!", "todo!", "unimplemented!"] {
+                // The '!' ends the identifier, so a plain substring match
+                // with a left word-boundary suffices.
+                if contains_word(&cleaned, &mac[..mac.len() - 1]) && cleaned.contains(mac) {
+                    flag(
+                        Rule::DebugMacro,
+                        format!("`{mac}` must not reach non-test code"),
+                        &mut diags,
+                    );
+                }
+            }
+        }
+
+        // -- hygiene: bare #[ignore] ------------------------------------
+        if cleaned.contains("#[ignore]") {
+            flag(
+                Rule::IgnoreWithoutReason,
+                "give the skip a reason: `#[ignore = \"why\"]`".into(),
+                &mut diags,
+            );
+        }
+
+        // -- hygiene: unsafe without SAFETY -----------------------------
+        if contains_word(&cleaned, "unsafe") && !cleaned.contains("forbid") {
+            let documented = (idx.saturating_sub(3)..=idx).any(|i| lines[i].contains("SAFETY:"));
+            if !documented {
+                flag(
+                    Rule::UnsafeWithoutSafety,
+                    "unsafe needs a `// SAFETY:` comment on it or within the 3 lines above".into(),
+                    &mut diags,
+                );
+            }
+        }
+    }
+    diags
+}
+
+/// Recursively collects the workspace's own `.rs` files under `root`,
+/// sorted for deterministic diagnostics.
+///
+/// Skips `vendor/` (third-party subsets), `target/`, `.git/`, and
+/// `tests/fixtures/` trees (deliberate rule violations used as test data).
+pub fn collect_rs_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if matches!(name.as_ref(), "vendor" | "target" | ".git") {
+                    continue;
+                }
+                if name == "fixtures" && dir.ends_with("tests") {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Runs the whole pass over a workspace root, returning all diagnostics
+/// sorted by path and line.
+pub fn check_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    let mut diags = Vec::new();
+    for file in collect_rs_files(root)? {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = std::fs::read_to_string(&file)?;
+        diags.extend(check_source(&rel, &source));
+    }
+    diags.sort_by(|a, b| (a.path.as_str(), a.line).cmp(&(b.path.as_str(), b.line)));
+    Ok(diags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_strips_comments_and_strings() {
+        assert_eq!(clean_line("let x = 1; // HashMap here"), "let x = 1; ");
+        assert_eq!(clean_line(r#"let s = "HashMap";"#), r#"let s = "";"#);
+        assert_eq!(clean_line(r#"let s = "a\"b HashMap";"#), r#"let s = "";"#);
+    }
+
+    #[test]
+    fn word_boundaries() {
+        assert!(contains_word("use std::collections::HashMap;", "HashMap"));
+        assert!(!contains_word("forbid(unsafe_code)", "unsafe"));
+        assert!(contains_word("unsafe {", "unsafe"));
+        assert!(!contains_word("my_thread_rng_like", "thread_rng"));
+    }
+
+    #[test]
+    fn sim_state_crate_classification() {
+        assert!(FileContext::from_path("crates/net/src/mesh.rs").is_sim_state_crate());
+        assert!(!FileContext::from_path("crates/bench/src/lib.rs").is_sim_state_crate());
+        assert!(!FileContext::from_path("crates/tidy/src/lib.rs").is_sim_state_crate());
+        assert!(!FileContext::from_path("tests/determinism.rs").is_sim_state_crate());
+        assert!(FileContext::from_path("crates/net/tests/transit_math.rs").test_file);
+    }
+
+    #[test]
+    fn hashmap_flagged_only_outside_tests() {
+        let src = "use std::collections::HashMap;\n#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n}\n";
+        let diags = check_source("crates/net/src/x.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].line, 1);
+        assert_eq!(diags[0].rule, Rule::UnorderedContainer);
+    }
+
+    #[test]
+    fn allow_on_same_line_and_above() {
+        let same = "use std::collections::HashMap; // um-tidy: allow(unordered-container) -- keyed lookups only\n";
+        assert!(check_source("crates/net/src/x.rs", same).is_empty());
+        let above = "// um-tidy: allow(unordered-container) -- keyed lookups only\nuse std::collections::HashMap;\n";
+        assert!(check_source("crates/net/src/x.rs", above).is_empty());
+    }
+
+    #[test]
+    fn allow_without_reason_rejected() {
+        let src = "use std::collections::HashMap; // um-tidy: allow(unordered-container)\n";
+        let diags = check_source("crates/net/src/x.rs", src);
+        assert!(diags.iter().any(|d| d.rule == Rule::AllowSyntax));
+        assert!(diags.iter().any(|d| d.rule == Rule::UnorderedContainer));
+    }
+
+    #[test]
+    fn unknown_allow_rule_rejected() {
+        let src = "let x = 1; // um-tidy: allow(no-such-rule) -- because\n";
+        let diags = check_source("crates/net/src/x.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, Rule::AllowSyntax);
+    }
+
+    #[test]
+    fn cycle_cast_needs_cycle_name() {
+        let flagged = "let x = total_cycles as u32;\n";
+        assert_eq!(
+            check_source("crates/core/src/x.rs", flagged)[0].rule,
+            Rule::CycleTruncCast
+        );
+        let fine = "let x = index as usize;\n";
+        assert!(check_source("crates/core/src/x.rs", fine).is_empty());
+    }
+
+    #[test]
+    fn cycle_float_cmp_needs_float_evidence() {
+        let flagged = "if latency_us == 0.0 {\n";
+        assert_eq!(
+            check_source("crates/core/src/x.rs", flagged)[0].rule,
+            Rule::CycleFloatCmp
+        );
+        let fine = "if cycles == other_cycles {\n";
+        assert!(check_source("crates/core/src/x.rs", fine).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_allowed_in_bench() {
+        let src = "let t = std::time::Instant::now();\n";
+        assert!(check_source("crates/bench/src/lib.rs", src).is_empty());
+        assert_eq!(
+            check_source("crates/sim/src/x.rs", src)[0].rule,
+            Rule::WallClock
+        );
+        assert_eq!(check_source("src/lib.rs", src)[0].rule, Rule::WallClock);
+    }
+
+    #[test]
+    fn ignore_needs_reason() {
+        assert_eq!(
+            check_source("tests/t.rs", "#[ignore]\n")[0].rule,
+            Rule::IgnoreWithoutReason
+        );
+        assert!(check_source("tests/t.rs", "#[ignore = \"slow\"]\n").is_empty());
+    }
+
+    #[test]
+    fn unsafe_needs_safety_comment() {
+        let bad = "unsafe { *p }\n";
+        assert_eq!(
+            check_source("crates/sim/src/x.rs", bad)[0].rule,
+            Rule::UnsafeWithoutSafety
+        );
+        let good = "// SAFETY: p outlives the call\nunsafe { *p }\n";
+        assert!(check_source("crates/sim/src/x.rs", good).is_empty());
+        let forbid = "#![forbid(unsafe_code)]\n";
+        assert!(check_source("crates/sim/src/x.rs", forbid).is_empty());
+    }
+
+    #[test]
+    fn debug_macros_flagged_outside_tests() {
+        let src = "dbg!(x);\n";
+        assert_eq!(
+            check_source("crates/sim/src/x.rs", src)[0].rule,
+            Rule::DebugMacro
+        );
+        assert!(check_source("tests/t.rs", src).is_empty());
+    }
+
+    #[test]
+    fn doc_comments_do_not_trip_rules() {
+        let src = "/// Uses a HashMap-like structure; see Instant::now docs.\nlet x = 1;\n";
+        assert!(check_source("crates/sim/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn rule_ids_roundtrip() {
+        for rule in Rule::ALL {
+            assert_eq!(Rule::from_id(rule.id()), Some(rule));
+            assert!(!rule.summary().is_empty());
+        }
+        assert_eq!(Rule::from_id("nope"), None);
+    }
+}

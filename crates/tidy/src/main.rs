@@ -1,0 +1,75 @@
+//! `um-tidy` command-line entry point.
+//!
+//! ```text
+//! cargo run -p um-tidy              # check the workspace rooted at cwd
+//! cargo run -p um-tidy -- <root>    # check an explicit root
+//! cargo run -p um-tidy -- --list-rules
+//! ```
+//!
+//! Exits 0 when the tree is clean, 1 when any rule fires, 2 on usage or
+//! I/O errors.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn usage() {
+    eprintln!("usage: um-tidy [--list-rules] [workspace-root]");
+    eprintln!("checks every workspace .rs file against the determinism/invariant rules");
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--list-rules" => {
+                for rule in um_tidy::Rule::ALL {
+                    println!("{:<24} {}", rule.id(), rule.summary());
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            _ if root.is_none() => root = Some(PathBuf::from(arg)),
+            _ => {
+                usage();
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // Default to the workspace root: CARGO_MANIFEST_DIR/../.. when run via
+    // `cargo run -p um-tidy`, else the current directory.
+    let root = root.unwrap_or_else(|| {
+        std::env::var("CARGO_MANIFEST_DIR")
+            .map(|m| {
+                Path::new(&m)
+                    .ancestors()
+                    .nth(2)
+                    .map(Path::to_path_buf)
+                    .unwrap_or_else(|| PathBuf::from("."))
+            })
+            .unwrap_or_else(|_| PathBuf::from("."))
+    });
+    if !root.join("Cargo.toml").exists() {
+        eprintln!("um-tidy: {} has no Cargo.toml", root.display());
+        return ExitCode::from(2);
+    }
+    match um_tidy::check_workspace(&root) {
+        Ok(diags) if diags.is_empty() => {
+            println!("um-tidy: clean ({} rules)", um_tidy::Rule::ALL.len());
+            ExitCode::SUCCESS
+        }
+        Ok(diags) => {
+            for d in &diags {
+                println!("{d}");
+            }
+            println!("um-tidy: {} violation(s)", diags.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("um-tidy: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

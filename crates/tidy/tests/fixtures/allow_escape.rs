@@ -1,0 +1,10 @@
+// Fixture: the allow escape hatch, same-line and line-above forms.
+use std::collections::HashMap; // um-tidy: allow(unordered-container) -- fixture: keyed lookups only, order never escapes
+
+// um-tidy: allow(unordered-container) -- fixture: directive on the line above
+use std::collections::HashSet;
+
+pub fn cast(total_cycles: u64) -> u32 {
+    // um-tidy: allow(cycle-trunc-cast) -- fixture: value bounded by config well below u32::MAX
+    total_cycles as u32
+}

@@ -1,0 +1,7 @@
+// Fixture: malformed um-tidy directives.
+pub fn f() {
+    let _x = 1; // um-tidy: allow -- missing the parenthesised rule list
+    let _y = 2; // um-tidy: allow(unordered-container
+    let _z = 3; // um-tidy: allow(unordered-container) missing the dashes
+    let _w = 4; // um-tidy: allow(no-such-rule) -- misspelled rule id
+}

@@ -1,0 +1,22 @@
+//! Fixture: nothing to report.
+//!
+//! Doc comments may mention HashMap, Instant::now and thread_rng freely;
+//! matching is lexical but strings and comments are stripped first.
+
+use std::collections::BTreeMap;
+
+/// Sums the map's values ("HashMap" in a string is also fine).
+pub fn sum(map: &BTreeMap<u32, u64>) -> u64 {
+    let _s = "HashMap and SystemTime in a string literal";
+    map.values().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn works() {
+        let mut m = std::collections::HashMap::new();
+        m.insert(1u32, 2u64);
+        assert_eq!(super::sum(&m.into_iter().collect()), 2);
+    }
+}

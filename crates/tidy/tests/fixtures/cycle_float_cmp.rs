@@ -1,0 +1,12 @@
+// Fixture: float equality on cycle/latency-named values.
+pub fn compare(latency_us: f64, cycles: u64, other_cycles: u64) {
+    if latency_us == 0.0 {
+        return;
+    }
+    if cycles as f64 != other_cycles as f64 {
+        return;
+    }
+    if cycles == other_cycles {
+        // integer comparison: fine
+    }
+}

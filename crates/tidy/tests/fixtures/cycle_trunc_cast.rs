@@ -1,0 +1,6 @@
+// Fixture: truncating casts on cycle/latency-named values.
+pub fn report(total_cycles: u64, latency_sum: u64, index: u64) {
+    let _ticks = total_cycles as u32;
+    let _lat = latency_sum as u16;
+    let _idx = index as usize; // not cycle-named: fine
+}

@@ -1,0 +1,17 @@
+// Fixture: debug macros left in non-test code.
+pub fn f(x: u32) -> u32 {
+    dbg!(x);
+    todo!()
+}
+
+pub fn g() {
+    unimplemented!()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scratch() {
+        dbg!(42); // test code: fine
+    }
+}

@@ -1,0 +1,8 @@
+// Fixture: #[ignore] attributes without a reason.
+#[ignore]
+#[test]
+fn skipped_silently() {}
+
+#[ignore = "needs the full-scale results, ~40 min"]
+#[test]
+fn documented_skip() {}

@@ -1,0 +1,20 @@
+// Fixture: unordered containers in sim-state code.
+use std::collections::HashMap;
+use std::collections::HashSet;
+use std::collections::BTreeMap; // ordered: fine
+
+pub fn state() {
+    let _m: HashMap<u32, u32> = HashMap::new();
+    let _ok: BTreeMap<u32, u32> = BTreeMap::new();
+}
+
+#[cfg(test)]
+mod tests {
+    // Test-local maps cannot break reproducibility.
+    use std::collections::HashMap;
+
+    #[test]
+    fn counts() {
+        let _c: HashMap<u32, u32> = HashMap::new();
+    }
+}

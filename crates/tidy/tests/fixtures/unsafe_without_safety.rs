@@ -1,0 +1,9 @@
+// Fixture: unsafe blocks with and without a SAFETY comment.
+pub fn read(p: *const u32) -> u32 {
+    unsafe { *p }
+}
+
+// SAFETY: the caller guarantees p is valid, aligned and live.
+pub fn read_documented(p: *const u32) -> u32 {
+    unsafe { *p }
+}

@@ -1,0 +1,5 @@
+// Fixture: entropy-seeded RNGs in simulation code.
+pub fn rngs() {
+    let _r = rand::thread_rng();
+    let _s = rand::rngs::SmallRng::from_entropy();
+}

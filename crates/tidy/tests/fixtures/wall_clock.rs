@@ -1,0 +1,5 @@
+// Fixture: wall-clock reads in simulation code.
+pub fn timestamps() {
+    let _t = std::time::Instant::now();
+    let _s = std::time::SystemTime::now();
+}

@@ -1,0 +1,118 @@
+//! Golden-file tests for the um-tidy rules.
+//!
+//! Each fixture under `tests/fixtures/` is checked with a *virtual*
+//! workspace path (so crate-scoped rules apply as they would in the real
+//! tree) and its rendered diagnostics must match `<name>.expected` byte
+//! for byte. Regenerate the goldens after an intentional rule change with
+//!
+//! ```text
+//! UM_TIDY_BLESS=1 cargo test -p um-tidy --test golden
+//! ```
+
+use std::path::{Path, PathBuf};
+
+/// (fixture name, virtual workspace path it is checked under)
+const CASES: &[(&str, &str)] = &[
+    ("unordered_container", "crates/core/src/fixture.rs"),
+    ("wall_clock", "crates/sim/src/fixture.rs"),
+    ("unseeded_rng", "crates/workload/src/fixture.rs"),
+    ("cycle_trunc_cast", "crates/core/src/fixture.rs"),
+    ("cycle_float_cmp", "crates/stats/src/fixture.rs"),
+    ("debug_macro", "crates/sched/src/fixture.rs"),
+    ("ignore_without_reason", "tests/fixture.rs"),
+    ("unsafe_without_safety", "crates/mem/src/fixture.rs"),
+    ("allow_syntax", "crates/net/src/fixture.rs"),
+    ("allow_escape", "crates/net/src/fixture.rs"),
+    ("clean", "crates/arch/src/fixture.rs"),
+];
+
+/// Fixtures that must produce no diagnostics at all.
+const CLEAN_CASES: &[&str] = &["allow_escape", "clean"];
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn render(name: &str, virtual_path: &str) -> String {
+    let src = std::fs::read_to_string(fixture_dir().join(format!("{name}.rs")))
+        .unwrap_or_else(|e| panic!("fixture {name}.rs: {e}"));
+    um_tidy::check_source(virtual_path, &src)
+        .iter()
+        .map(|d| format!("{d}\n"))
+        .collect()
+}
+
+#[test]
+fn fixtures_match_goldens() {
+    let bless = std::env::var_os("UM_TIDY_BLESS").is_some();
+    let mut failures = Vec::new();
+    for &(name, virtual_path) in CASES {
+        let actual = render(name, virtual_path);
+        let golden = fixture_dir().join(format!("{name}.expected"));
+        if bless {
+            std::fs::write(&golden, &actual).expect("write golden");
+            continue;
+        }
+        let expected = std::fs::read_to_string(&golden)
+            .unwrap_or_else(|e| panic!("golden {name}.expected: {e} (bless with UM_TIDY_BLESS=1)"));
+        if actual != expected {
+            failures.push(format!(
+                "== {name} ==\n-- expected --\n{expected}-- actual --\n{actual}"
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "golden mismatches (UM_TIDY_BLESS=1 regenerates):\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn violation_fixtures_trip_their_namesake_rule() {
+    for &(name, virtual_path) in CASES {
+        let src = std::fs::read_to_string(fixture_dir().join(format!("{name}.rs"))).unwrap();
+        let diags = um_tidy::check_source(virtual_path, &src);
+        if CLEAN_CASES.contains(&name) {
+            assert!(diags.is_empty(), "{name} must be clean, got: {diags:?}");
+            continue;
+        }
+        let id = name.replace('_', "-");
+        assert!(
+            diags.iter().any(|d| d.rule.id() == id),
+            "{name} must trip `{id}`, got: {diags:?}"
+        );
+    }
+}
+
+#[test]
+fn every_rule_is_covered_by_a_fixture() {
+    let covered: Vec<String> = CASES
+        .iter()
+        .filter(|(name, _)| !CLEAN_CASES.contains(name))
+        .map(|(name, _)| name.replace('_', "-"))
+        .collect();
+    for rule in um_tidy::Rule::ALL {
+        assert!(
+            covered.iter().any(|id| id == rule.id()),
+            "no fixture covers rule `{}`",
+            rule.id()
+        );
+    }
+}
+
+#[test]
+fn fixtures_are_excluded_from_the_workspace_scan() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    let files = um_tidy::collect_rs_files(root).expect("scan workspace");
+    assert!(!files.is_empty(), "the scan must find workspace sources");
+    assert!(
+        files
+            .iter()
+            .all(|f| !f.to_string_lossy().contains("fixtures")),
+        "fixture files must not reach the workspace scan"
+    );
+}
