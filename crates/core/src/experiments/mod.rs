@@ -8,6 +8,7 @@
 pub mod evaluation;
 pub mod motivation;
 pub mod parallel;
+pub mod resilience;
 
 use crate::report::RunReport;
 use crate::system::{SimConfig, SystemSim};

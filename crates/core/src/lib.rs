@@ -57,6 +57,6 @@ pub mod request;
 pub mod system;
 pub mod workload;
 
-pub use report::RunReport;
+pub use report::{FaultStats, RunReport};
 pub use system::{ArrivalProcess, SimConfig, SystemSim};
 pub use workload::Workload;

@@ -101,6 +101,13 @@ pub const SW_HICCUP_MEAN_US: f64 = 3_000.0;
 /// single-queue tail blow-up comes from.
 pub const SW_QUEUE_LOCK_CYCLES_PER_SHARER: f64 = 25.0;
 
+/// Fallback RPC-attempt timeout, microseconds, used when message drops
+/// are injected but no retry policy is configured: a lost leg must not
+/// strand the operation forever, so it is declared lost (and the request
+/// gives up) after this long. Generous against the ~100 us storage mean
+/// and the few-ms tails of degraded runs.
+pub const DEFAULT_RPC_TIMEOUT_US: f64 = 5_000.0;
+
 #[cfg(test)]
 mod tests {
     use super::*;

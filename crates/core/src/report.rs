@@ -82,6 +82,39 @@ impl BreakdownReport {
     }
 }
 
+/// Fault-injection and tail-mitigation accounting for one run. All zeros
+/// for a healthy run with mitigation off (except `rpc_ops`/`rpc_attempts`,
+/// which count every blocking RPC operation and its primary issues).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Blocking RPC operations begun (storage reads + service calls).
+    pub rpc_ops: u64,
+    /// Attempts issued across all operations (primaries + hedges +
+    /// retries).
+    pub rpc_attempts: u64,
+    /// Hedge (backup) attempts issued.
+    pub hedges: u64,
+    /// Retry attempts issued after a timeout.
+    pub retries: u64,
+    /// Losing attempts: deliveries that arrived after their operation had
+    /// already resolved (or been abandoned).
+    pub wasted_attempts: u64,
+    /// Message legs lost to injected drops.
+    pub drops: u64,
+    /// Operations that exhausted their attempts and were abandoned.
+    pub gave_up_ops: u64,
+    /// Root requests that completed in a gave-up state (excluded from
+    /// latency samples).
+    pub gave_up_requests: u64,
+    /// Cores removed by fail-stop events.
+    pub cores_failed: u64,
+    /// Plan events that took effect (installed or fired).
+    pub faults_applied: u64,
+    /// Plan events that could not take effect (out-of-range target, or a
+    /// fail-stop refused to kill a village's last core).
+    pub faults_masked: u64,
+}
+
 /// Aggregated results of one [`crate::SystemSim`] run.
 #[derive(Clone, Debug)]
 pub struct RunReport {
@@ -117,6 +150,8 @@ pub struct RunReport {
     pub icn_mean_queue_cycles: f64,
     /// Latency-conservation accounting (always maintained).
     pub conservation: ConservationStats,
+    /// Fault-injection and mitigation accounting (always maintained).
+    pub faults: FaultStats,
     /// Per-component latency digests; `Some` when tracing was enabled.
     pub breakdown: Option<BreakdownReport>,
 }
@@ -162,6 +197,7 @@ mod tests {
             icn_messages: 0,
             icn_mean_queue_cycles: 0.0,
             conservation: ConservationStats::default(),
+            faults: FaultStats::default(),
             breakdown: None,
         };
         assert_eq!(report.tail_us(), 99.0);

@@ -2,7 +2,7 @@
 
 use um_sim::trace::LatencyBreakdown;
 use um_sim::Cycles;
-use um_workload::{RequestPlan, ServiceId};
+use um_workload::{RequestPlan, RpcKind, ServiceId};
 
 /// Index of a request in the simulation's request table.
 pub type ReqId = usize;
@@ -19,6 +19,11 @@ pub enum Origin {
     Parent {
         /// The blocked parent request.
         req: ReqId,
+        /// The parent RPC operation this child answers. A response whose
+        /// generation no longer matches the parent's current operation
+        /// (a late hedge, a retried call's first attempt) is an orphan:
+        /// its breakdown is conservation-checked but never merged.
+        gen: u32,
     },
 }
 
@@ -78,6 +83,32 @@ pub struct Request {
     /// (checked at completion); a child's breakdown is merged into its
     /// parent's when the response arrives.
     pub breakdown: LatencyBreakdown,
+    /// RPC attempts issued by this request across all its operations
+    /// (primary issues, hedges and retries).
+    pub attempts: u32,
+    /// Hedge attempts issued by this request.
+    pub hedges: u32,
+    /// Whether any RPC operation of this request (or of a merged child)
+    /// exhausted its attempts; gave-up requests complete immediately and
+    /// are excluded from latency samples.
+    pub gave_up: bool,
+    /// Generation of the current (or most recent) RPC operation; bumped
+    /// when an operation begins, so stale attempt events are ignored.
+    pub op_gen: u32,
+    /// Whether the current operation has resolved (winner delivered or
+    /// given up).
+    pub op_resolved: bool,
+    /// Attempts issued for the current operation.
+    pub op_attempts: u32,
+    /// When the current operation began (the block time); the gap to the
+    /// winning attempt's issue time is charged to `Resilience`.
+    pub op_started_at: Cycles,
+    /// The RPC the current operation performs (needed to reissue it on a
+    /// retry).
+    pub op_rpc: Option<RpcKind>,
+    /// Village the current operation's primary call attempt targeted
+    /// (hedges prefer a different one).
+    pub op_village: usize,
 }
 
 impl Request {
@@ -104,6 +135,15 @@ impl Request {
             rq_slot: None,
             spawned_at: Cycles::ZERO,
             breakdown: LatencyBreakdown::new(),
+            attempts: 0,
+            hedges: 0,
+            gave_up: false,
+            op_gen: 0,
+            op_resolved: true,
+            op_attempts: 0,
+            op_started_at: Cycles::ZERO,
+            op_rpc: None,
+            op_village: 0,
         }
     }
 

@@ -9,7 +9,7 @@
 //! RPC-processing, coherence and interconnect costs.
 
 use crate::params;
-use crate::report::{BreakdownReport, ConservationStats, RunReport};
+use crate::report::{BreakdownReport, ConservationStats, FaultStats, RunReport};
 use crate::request::{Origin, Phase, ReqId, Request};
 use crate::workload::Workload;
 use rand::rngs::SmallRng;
@@ -19,7 +19,8 @@ use um_arch::coherence::CoherenceModel;
 use um_arch::config::{CoherenceDomain, IcnKind, MachineConfig};
 use um_arch::ServiceMap;
 use um_net::{ExternalNetwork, FatTree, LeafSpine, Mesh2D, Network, NetworkConfig};
-use um_sched::{Dispatcher, RequestQueue};
+use um_sched::{Dispatcher, MitigationConfig, RequestQueue, RetryBudget};
+use um_sim::fault::{FaultEvent, FaultPlan};
 use um_sim::trace::{Component, LatencyBreakdown, Span};
 use um_sim::{rng as simrng, Cycles, EventQueue};
 use um_stats::Samples;
@@ -76,6 +77,14 @@ pub struct SimConfig {
     /// integer adds on state the event handlers already touch — but the
     /// per-request sample recording is gated here.
     pub trace: bool,
+    /// Scheduled faults for this run. [`FaultPlan::none`] (the default)
+    /// leaves the run bit-identical to one predating fault injection:
+    /// the plan adds no events, no RNG draws and no charges.
+    pub fault_plan: FaultPlan,
+    /// Tail-mitigation policies (hedging, timeout/retry, steering). The
+    /// default disables all of them; an all-off config likewise changes
+    /// nothing about a run.
+    pub mitigation: MitigationConfig,
 }
 
 /// How external requests arrive at each server.
@@ -106,6 +115,8 @@ impl Default for SimConfig {
             arrivals: ArrivalProcess::Poisson,
             autoscale: false,
             trace: false,
+            fault_plan: FaultPlan::none(),
+            mitigation: MitigationConfig::default(),
         }
     }
 }
@@ -222,6 +233,16 @@ impl Icn {
             Icn::Leaf(n) => n.config().hop_latency,
         }
     }
+
+    /// Registers a fault window on a link (index taken modulo the link
+    /// count by the network layer).
+    fn inject_link_fault(&mut self, link: usize, window: um_sim::fault::FaultWindow) {
+        match self {
+            Icn::Mesh(n) => n.inject_link_fault(link, window),
+            Icn::Fat(n) => n.inject_link_fault(link, window),
+            Icn::Leaf(n) => n.inject_link_fault(link, window),
+        }
+    }
 }
 
 /// Per-village queue state.
@@ -250,6 +271,9 @@ struct Village {
     cluster_span: usize,
     idle_cores: usize,
     cores: usize,
+    /// Fail-stop kills waiting for a busy core to free: the next
+    /// `CoreFree` is absorbed instead of returning the core to the pool.
+    kill_pending: usize,
     queue: VillageQueue,
     /// Software queues are protected by a lock whose critical section
     /// scales with the sharer count (§3.2's synchronization overheads);
@@ -309,6 +333,40 @@ enum Event {
         service: u32,
         village: usize,
     },
+    /// A scheduled fail-stop: one core of the village dies.
+    CoreFail {
+        server: usize,
+        village: usize,
+    },
+    /// A storage attempt's response arrives. The legs were computed at
+    /// issue time but are charged here, at delivery, so a losing attempt
+    /// (late retry, wasted hedge) never touches the breakdown.
+    StorageDone {
+        req: ReqId,
+        /// Operation generation the attempt belongs to.
+        gen: u32,
+        /// On-package egress+ingress share of the blocked interval.
+        icn: Cycles,
+        /// External-fabric share.
+        ext: Cycles,
+        /// Storage service-time share.
+        storage: Cycles,
+        /// Issue delay relative to the operation start (0 for a primary
+        /// attempt), charged to `Component::Resilience` if this attempt
+        /// wins.
+        resilience: Cycles,
+    },
+    /// A hedging policy's backup-issue point for an operation.
+    HedgeFire {
+        req: ReqId,
+        gen: u32,
+    },
+    /// An attempt's timeout: retry or give up unless the operation has
+    /// resolved.
+    RpcTimeout {
+        req: ReqId,
+        gen: u32,
+    },
 }
 
 /// The full-system simulator. Construct with [`SystemSim::new`], run with
@@ -321,6 +379,12 @@ pub struct SystemSim {
     external: ExternalNetwork,
     coherence: CoherenceModel,
     rng: SmallRng,
+    /// Separate stream for fault decisions (drop sampling, fail-slow core
+    /// assignment) so a fault plan never perturbs the healthy-run draws.
+    fault_rng: SmallRng,
+    /// Cached [`FaultPlan::drop_probability`].
+    drop_p: f64,
+    retry_budget: RetryBudget,
     horizon: Cycles,
     warmup: Cycles,
     // Statistics.
@@ -335,6 +399,7 @@ pub struct SystemSim {
     steals: u64,
     rq_overflows: u64,
     instance_boots: u64,
+    faults: FaultStats,
     breakdown: BreakdownCollector,
 }
 
@@ -424,6 +489,7 @@ impl SystemSim {
                     cluster_span,
                     idle_cores: cores_per_village,
                     cores: cores_per_village,
+                    kill_pending: 0,
                     queue: if cfg.machine.hw_scheduling {
                         VillageQueue::Hardware {
                             rq: RequestQueue::new(cfg.machine.rq_capacity),
@@ -531,12 +597,59 @@ impl SystemSim {
         // storage tier (index = cfg.servers).
         let external = ExternalNetwork::paper_default(cfg.servers + 1, freq);
 
+        // Install the fault plan: link faults and drop probabilities take
+        // effect (are "applied") at install time, fail-stops when their
+        // CoreFail event fires; anything aimed at a nonexistent target is
+        // masked. The fault-accounting sanitizer checks that every plan
+        // event ends up in exactly one of the two buckets.
+        let mut faults = FaultStats::default();
+        for event in cfg.fault_plan.events() {
+            match *event {
+                FaultEvent::CoreFailStop {
+                    server,
+                    village,
+                    at,
+                } => {
+                    if server < cfg.servers && village < n_villages {
+                        events.schedule_at(at, Event::CoreFail { server, village });
+                    } else {
+                        faults.faults_masked += 1;
+                    }
+                }
+                FaultEvent::CoreFailSlow {
+                    server, village, ..
+                } => {
+                    if server < cfg.servers && village < n_villages {
+                        faults.faults_applied += 1;
+                    } else {
+                        faults.faults_masked += 1;
+                    }
+                }
+                FaultEvent::LinkFault {
+                    server,
+                    link,
+                    window,
+                } => {
+                    if server < cfg.servers {
+                        servers[server].icn.inject_link_fault(link, window);
+                        faults.faults_applied += 1;
+                    } else {
+                        faults.faults_masked += 1;
+                    }
+                }
+                FaultEvent::MessageDrops { .. } => faults.faults_applied += 1,
+            }
+        }
+
         Self {
             horizon: Cycles::from_micros(cfg.horizon_us, freq),
             warmup: Cycles::from_micros(cfg.warmup_us, freq),
             external,
             coherence,
             rng: simrng::stream(cfg.seed, "system"),
+            fault_rng: simrng::stream(cfg.seed, "fault"),
+            drop_p: cfg.fault_plan.drop_probability(),
+            retry_budget: RetryBudget::new(cfg.mitigation.retry.map_or(0.0, |r| r.budget_fraction)),
             events,
             requests: Vec::new(),
             servers,
@@ -551,6 +664,7 @@ impl SystemSim {
             steals: 0,
             rq_overflows: 0,
             instance_boots: 0,
+            faults,
             breakdown: BreakdownCollector::new(cfg.trace),
             cfg,
         }
@@ -566,8 +680,15 @@ impl SystemSim {
                 Event::SegmentDone { req } => self.on_segment_done(req, now),
                 Event::Unblock { req } => self.on_unblock(req, now),
                 Event::CoreFree { server, village } => {
-                    self.servers[server].villages[village].idle_cores += 1;
-                    self.try_start(server, village, now);
+                    let v = &mut self.servers[server].villages[village];
+                    if v.kill_pending > 0 {
+                        // A fail-stop was waiting for this core: it dies
+                        // instead of rejoining the pool.
+                        v.kill_pending -= 1;
+                    } else {
+                        v.idle_cores += 1;
+                        self.try_start(server, village, now);
+                    }
                 }
                 Event::InstanceReady {
                     server,
@@ -577,6 +698,17 @@ impl SystemSim {
                     self.servers[server].booting.remove(&service);
                     self.servers[server].service_map.register(service, village);
                 }
+                Event::CoreFail { server, village } => self.on_core_fail(server, village),
+                Event::StorageDone {
+                    req,
+                    gen,
+                    icn,
+                    ext,
+                    storage,
+                    resilience,
+                } => self.on_storage_done(req, gen, icn, ext, storage, resilience, now),
+                Event::HedgeFire { req, gen } => self.on_hedge_fire(req, gen, now),
+                Event::RpcTimeout { req, gen } => self.on_rpc_timeout(req, gen, now),
             }
         }
         self.into_report()
@@ -650,7 +782,7 @@ impl SystemSim {
 
     fn on_client_arrival(&mut self, server: usize, now: Cycles) {
         let service = self.cfg.workload.sample_root(&mut self.rng);
-        let village = self.pick_village(server, service);
+        let village = self.pick_village(server, service, now);
         let plan = self.cfg.workload.sample_plan(service, &mut self.rng);
         let req = self.requests.len();
         self.requests.push(Request::new(
@@ -676,15 +808,84 @@ impl SystemSim {
             .schedule_at(now + ingress, Event::Enqueue { req });
     }
 
-    fn pick_village(&mut self, server: usize, service: ServiceId) -> usize {
+    fn pick_village(&mut self, server: usize, service: ServiceId, now: Cycles) -> usize {
+        // Straggler-aware steering only engages when a fault plan exists:
+        // a healthy run must take exactly the original dispatch path
+        // (same draws, same round-robin cursor movement).
+        let steer = self.cfg.mitigation.steer && !self.cfg.fault_plan.is_empty();
         if self.cfg.machine.hw_scheduling {
-            self.servers[server]
+            let primary = self.servers[server]
                 .service_map
                 .dispatch(service.raw())
-                .expect("every workload service is registered")
+                .expect("every workload service is registered");
+            if steer && self.cfg.fault_plan.is_degraded(server, primary, now) {
+                let plan = &self.cfg.fault_plan;
+                let srv = &self.servers[server];
+                // Least-loaded healthy village still hosting the service;
+                // ties break on the lower index (deterministic).
+                if let Some(&v) = srv
+                    .service_map
+                    .villages(service.raw())
+                    .iter()
+                    .filter(|&&v| !plan.is_degraded(server, v, now))
+                    .min_by_key(|&&v| (Self::queue_len(&srv.villages[v]), v))
+                {
+                    return v;
+                }
+            }
+            primary
         } else {
-            self.rng.gen_range(0..self.servers[server].villages.len())
+            let n = self.servers[server].villages.len();
+            if steer {
+                let plan = &self.cfg.fault_plan;
+                let healthy: Vec<usize> = (0..n)
+                    .filter(|&v| !plan.is_degraded(server, v, now))
+                    .collect();
+                if !healthy.is_empty() && healthy.len() < n {
+                    return healthy[self.rng.gen_range(0..healthy.len())];
+                }
+            }
+            self.rng.gen_range(0..n)
         }
+    }
+
+    /// Occupancy of a village's ready queue (steering's load key).
+    fn queue_len(v: &Village) -> usize {
+        match &v.queue {
+            VillageQueue::Hardware { rq, nic_buffer } => rq.len() + nic_buffer.len(),
+            VillageQueue::Software { ready } => ready.len(),
+        }
+    }
+
+    /// Village for a hedge (backup) attempt: prefer a healthy,
+    /// least-loaded village other than `avoid`; fall back to `avoid` when
+    /// it is the only host.
+    fn pick_hedge_village(
+        &mut self,
+        server: usize,
+        service: ServiceId,
+        avoid: usize,
+        now: Cycles,
+    ) -> usize {
+        let plan = &self.cfg.fault_plan;
+        let srv = &self.servers[server];
+        let candidates: Vec<usize> = if self.cfg.machine.hw_scheduling {
+            srv.service_map.villages(service.raw()).to_vec()
+        } else {
+            (0..srv.villages.len()).collect()
+        };
+        candidates
+            .iter()
+            .copied()
+            .filter(|&v| v != avoid)
+            .min_by_key(|&v| {
+                (
+                    plan.is_degraded(server, v, now),
+                    Self::queue_len(&srv.villages[v]),
+                    v,
+                )
+            })
+            .unwrap_or(avoid)
     }
 
     fn on_enqueue(&mut self, req: ReqId, now: Cycles) {
@@ -913,7 +1114,17 @@ impl SystemSim {
     fn start_segment_inner(&mut self, req: ReqId, now: Cycles, stolen: bool, in_place: bool) {
         let server = self.requests[req].server;
         let village = self.requests[req].village;
-        let seg = self.requests[req].plan.segments[self.requests[req].next_segment];
+        // An abandoned request does not execute the rest of its plan: it
+        // runs a synthetic zero-compute segment (the error-response path)
+        // and completes.
+        let seg = if self.requests[req].gave_up {
+            um_workload::Segment {
+                compute_us: 0.0,
+                rpc: None,
+            }
+        } else {
+            self.requests[req].plan.segments[self.requests[req].next_segment]
+        };
         let first = self.requests[req].next_segment == 0;
         let resumed = self.requests[req].has_run && !in_place;
 
@@ -996,7 +1207,20 @@ impl SystemSim {
         }
 
         let village_core = self.servers[server].villages[village].core;
-        let handler = village_core.compute_cycles(seg.compute_us);
+        let mut handler = village_core.compute_cycles(seg.compute_us);
+        // Fail-slow cores: while the village carries degraded cores, a
+        // dispatch lands on one with probability slow/cores and the
+        // handler compute stretches by the slowdown. Drawn from the fault
+        // stream so a healthy run's draws are untouched.
+        if !self.cfg.fault_plan.is_empty() {
+            if let Some((slow, slowdown)) = self.cfg.fault_plan.fail_slow(server, village, now) {
+                let total = self.servers[server].villages[village].cores;
+                let p = f64::from(slow).min(total as f64) / total.max(1) as f64;
+                if self.fault_rng.gen::<f64>() < p {
+                    handler = handler.scale(slowdown);
+                }
+            }
+        }
         let tax = self.wall_cycles(tax_us);
         let compute = handler + tax;
         {
@@ -1066,19 +1290,20 @@ impl SystemSim {
     }
 
     fn on_segment_done(&mut self, req: ReqId, now: Cycles) {
+        if self.requests[req].gave_up {
+            // The synthetic wind-down segment of an abandoned request just
+            // finished: skip the rest of the plan and send the (error)
+            // response.
+            self.complete_request(req, now);
+            return;
+        }
         let seg_idx = self.requests[req].next_segment;
         let seg = self.requests[req].plan.segments[seg_idx];
         self.requests[req].next_segment += 1;
-        let server = self.requests[req].server;
-        let village = self.requests[req].village;
 
         match seg.rpc {
-            Some(RpcKind::Storage { bytes }) => {
-                self.issue_storage(req, bytes, now);
-                self.block_request(req, now);
-            }
-            Some(RpcKind::Call { service }) => {
-                self.issue_call(req, service, now);
+            Some(kind) => {
+                self.begin_rpc_op(req, kind, now);
                 self.block_request(req, now);
             }
             None => {
@@ -1086,7 +1311,6 @@ impl SystemSim {
                 self.complete_request(req, now);
             }
         }
-        let _ = (server, village);
     }
 
     /// Context-save path: the core holds the request's state save, then
@@ -1124,9 +1348,71 @@ impl SystemSim {
             .schedule_at(free_at, Event::CoreFree { server, village });
     }
 
-    /// Storage RPC: on-package egress, external fabric to the storage
-    /// tier, exponential storage service, and the journey back.
-    fn issue_storage(&mut self, req: ReqId, bytes: u64, now: Cycles) {
+    /// Starts a blocking RPC operation: issues the primary attempt and
+    /// arms the mitigation machinery (hedge point, retry/liveness
+    /// timeout) around it. With mitigation off and no drops this reduces
+    /// to exactly one attempt and no extra events.
+    fn begin_rpc_op(&mut self, req: ReqId, kind: RpcKind, now: Cycles) {
+        let gen = {
+            let r = &mut self.requests[req];
+            r.op_gen += 1;
+            r.op_resolved = false;
+            r.op_attempts = 0;
+            r.op_started_at = now;
+            r.op_rpc = Some(kind);
+            r.op_gen
+        };
+        self.faults.rpc_ops += 1;
+        if self.cfg.mitigation.retry.is_some() {
+            // Adaptive budget: every operation earns a fraction of one
+            // retry, capping the retry rate cluster-wide.
+            self.retry_budget.earn();
+        }
+        self.issue_attempt(req, now);
+        if let Some(h) = self.cfg.mitigation.hedge {
+            self.events.schedule_at(
+                now + self.wall_cycles(h.delay_us),
+                Event::HedgeFire { req, gen },
+            );
+        }
+        if let Some(rc) = self.cfg.mitigation.retry {
+            self.events.schedule_at(
+                now + self.wall_cycles(rc.timeout_for_attempt_us(1)),
+                Event::RpcTimeout { req, gen },
+            );
+        } else if self.drop_p > 0.0 {
+            // No retry policy, but legs can be lost: a liveness timeout
+            // turns a stranded operation into a give-up instead of a
+            // hang.
+            self.events.schedule_at(
+                now + self.wall_cycles(params::DEFAULT_RPC_TIMEOUT_US),
+                Event::RpcTimeout { req, gen },
+            );
+        }
+    }
+
+    /// Issues one attempt of the request's current operation (the primary,
+    /// a hedge, or a retry).
+    fn issue_attempt(&mut self, req: ReqId, now: Cycles) {
+        let kind = self.requests[req].op_rpc.expect("operation in progress");
+        let backup = self.requests[req].op_attempts > 0;
+        {
+            let r = &mut self.requests[req];
+            r.op_attempts += 1;
+            r.attempts += 1;
+        }
+        self.faults.rpc_attempts += 1;
+        match kind {
+            RpcKind::Storage { bytes } => self.issue_storage_attempt(req, bytes, now),
+            RpcKind::Call { service } => self.issue_call_attempt(req, service, backup, now),
+        }
+    }
+
+    /// Storage RPC attempt: on-package egress, external fabric to the
+    /// storage tier, exponential storage service, and the journey back.
+    /// The leg decomposition rides in the `StorageDone` event and is
+    /// charged only if this attempt wins its operation.
+    fn issue_storage_attempt(&mut self, req: ReqId, bytes: u64, now: Cycles) {
         let server = self.requests[req].server;
         let storage = self.cfg.servers; // the storage tier's index
         let egress = self.servers[server].icn.hop_latency() * 2;
@@ -1143,37 +1429,67 @@ impl SystemSim {
             .external
             .send(storage, server, params::RESPONSE_BYTES, done);
         let ingress = self.servers[server].icn.hop_latency() * 2;
-        // The blocked interval [now, back + ingress] decomposes exactly
-        // into the on-package legs, the external-fabric legs and the
-        // storage service time.
-        {
-            let bd = &mut self.requests[req].breakdown;
-            bd.charge(Component::IcnTransit, egress + ingress);
-            bd.charge(
-                Component::ExternalNet,
-                (at_storage - (now + egress)) + (back - done),
-            );
-            bd.charge(Component::StorageService, done - at_storage);
+        // Injected message drops: the legs still occupy the fabric (the
+        // message is lost at the receiver), the response just never
+        // arrives; the operation recovers through its timeout.
+        if self.drop_p > 0.0 {
+            let lost_request = self.fault_rng.gen::<f64>() < self.drop_p;
+            let lost_response = self.fault_rng.gen::<f64>() < self.drop_p;
+            let lost = u64::from(lost_request) + u64::from(lost_response);
+            if lost > 0 {
+                self.faults.drops += lost;
+                return;
+            }
         }
-        self.events
-            .schedule_at(back + ingress, Event::Unblock { req });
+        // The attempt's span [now, back + ingress] decomposes exactly
+        // into the on-package legs, the external-fabric legs and the
+        // storage service time; the issue delay back to the operation
+        // start is resilience overhead.
+        let resilience = now - self.requests[req].op_started_at;
+        self.events.schedule_at(
+            back + ingress,
+            Event::StorageDone {
+                req,
+                gen: self.requests[req].op_gen,
+                icn: egress + ingress,
+                ext: (at_storage - (now + egress)) + (back - done),
+                storage: done - at_storage,
+                resilience,
+            },
+        );
     }
 
-    /// Synchronous downstream call: spawn a child request on this server
-    /// and unblock the parent when the child's response returns.
-    fn issue_call(&mut self, req: ReqId, service: ServiceId, now: Cycles) {
+    /// Synchronous downstream call attempt: spawn a child request on this
+    /// server; the parent unblocks when the first winning response
+    /// returns. `backup` attempts (hedges, retries) prefer a village other
+    /// than the primary's.
+    fn issue_call_attempt(&mut self, req: ReqId, service: ServiceId, backup: bool, now: Cycles) {
         let server = self.requests[req].server;
+        // Injected drops can lose the request leg: the child is never
+        // spawned and the parent recovers through its timeout.
+        if self.drop_p > 0.0 && self.fault_rng.gen::<f64>() < self.drop_p {
+            self.faults.drops += 1;
+            return;
+        }
         let src_cluster = {
             let v = self.requests[req].village;
             self.core_cluster(server, v)
         };
-        let child_village = self.pick_village(server, service);
+        let child_village = if backup {
+            let avoid = self.requests[req].op_village;
+            self.pick_hedge_village(server, service, avoid, now)
+        } else {
+            let v = self.pick_village(server, service, now);
+            self.requests[req].op_village = v;
+            v
+        };
         let dst_cluster = self.core_cluster(server, child_village);
         let plan = self.cfg.workload.sample_plan(service, &mut self.rng);
+        let gen = self.requests[req].op_gen;
         let child = self.requests.len();
         self.requests.push(Request::new(
             plan,
-            Origin::Parent { req },
+            Origin::Parent { req, gen },
             server,
             child_village,
         ));
@@ -1197,6 +1513,112 @@ impl SystemSim {
             arrive + self.cfg.machine.sched_op_cost,
             Event::Enqueue { req: child },
         );
+    }
+
+    /// A storage attempt's response arrives: if its operation is still
+    /// open, charge the winning legs and unblock; otherwise it lost.
+    #[allow(clippy::too_many_arguments)]
+    fn on_storage_done(
+        &mut self,
+        req: ReqId,
+        gen: u32,
+        icn: Cycles,
+        ext: Cycles,
+        storage: Cycles,
+        resilience: Cycles,
+        now: Cycles,
+    ) {
+        {
+            let r = &self.requests[req];
+            if r.phase != Phase::Blocked || r.op_resolved || r.op_gen != gen {
+                // A losing attempt: its operation already resolved (or
+                // was abandoned and the request moved on).
+                self.faults.wasted_attempts += 1;
+                return;
+            }
+        }
+        {
+            let r = &mut self.requests[req];
+            let bd = &mut r.breakdown;
+            bd.charge(Component::IcnTransit, icn);
+            bd.charge(Component::ExternalNet, ext);
+            bd.charge(Component::StorageService, storage);
+            bd.charge(Component::Resilience, resilience);
+            r.op_resolved = true;
+        }
+        self.on_unblock(req, now);
+    }
+
+    /// The hedging policy's backup-issue point: if the operation is still
+    /// open past the hedge delay, issue a backup attempt.
+    fn on_hedge_fire(&mut self, req: ReqId, gen: u32, now: Cycles) {
+        {
+            let r = &self.requests[req];
+            if r.phase != Phase::Blocked || r.op_resolved || r.op_gen != gen {
+                return; // resolved before the hedge point
+            }
+        }
+        self.faults.hedges += 1;
+        self.requests[req].hedges += 1;
+        self.issue_attempt(req, now);
+    }
+
+    /// An attempt timeout: retry (with exponential backoff, against the
+    /// retry budget) or abandon the operation.
+    fn on_rpc_timeout(&mut self, req: ReqId, gen: u32, now: Cycles) {
+        {
+            let r = &self.requests[req];
+            if r.phase != Phase::Blocked || r.op_resolved || r.op_gen != gen {
+                return; // resolved in time
+            }
+        }
+        if let Some(rc) = self.cfg.mitigation.retry {
+            if self.requests[req].op_attempts < rc.max_attempts && self.retry_budget.try_spend() {
+                self.faults.retries += 1;
+                self.issue_attempt(req, now);
+                let attempt = self.requests[req].op_attempts;
+                self.events.schedule_at(
+                    now + self.wall_cycles(rc.timeout_for_attempt_us(attempt)),
+                    Event::RpcTimeout { req, gen },
+                );
+                return;
+            }
+        }
+        // Out of attempts (or no retry policy at all): the operation is
+        // abandoned. No attempt's legs were ever charged, so the whole
+        // blocked span is resilience overhead; the request winds down
+        // through a synthetic final segment and is excluded from the
+        // latency samples.
+        self.faults.gave_up_ops += 1;
+        {
+            let r = &mut self.requests[req];
+            r.gave_up = true;
+            r.op_resolved = true;
+            let span = now - r.op_started_at;
+            r.breakdown.charge(Component::Resilience, span);
+        }
+        self.on_unblock(req, now);
+    }
+
+    /// A scheduled fail-stop fires: one core of the village dies. A
+    /// village is never taken below one core (the liveness floor) — such
+    /// an event is masked, like one aimed at a nonexistent target.
+    fn on_core_fail(&mut self, server: usize, village: usize) {
+        let v = &mut self.servers[server].villages[village];
+        if v.cores <= 1 {
+            self.faults.faults_masked += 1;
+            return;
+        }
+        v.cores -= 1;
+        if v.idle_cores > 0 {
+            v.idle_cores -= 1;
+        } else {
+            // Every core is busy: the next one to free dies instead of
+            // rejoining the pool.
+            v.kill_pending += 1;
+        }
+        self.faults.cores_failed += 1;
+        self.faults.faults_applied += 1;
     }
 
     fn complete_request(&mut self, req: ReqId, now: Cycles) {
@@ -1261,14 +1683,19 @@ impl SystemSim {
                 self.breakdown.check(&bd, (now + egress - sent_at) + rtt);
                 let latency_us =
                     (now + egress - sent_at).as_micros(self.freq()) + params::CLIENT_RTT_US;
-                if sent_at >= self.warmup {
+                if self.requests[req].gave_up {
+                    // An abandoned request's "latency" is an error
+                    // response, not a service time: count it, don't
+                    // sample it.
+                    self.faults.gave_up_requests += 1;
+                } else if sent_at >= self.warmup {
                     let freq = self.freq();
                     self.breakdown.record(&bd, freq);
                     self.latency.record(latency_us);
                     self.recorded += 1;
                 }
             }
-            Origin::Parent { req: parent } => {
+            Origin::Parent { req: parent, gen } => {
                 let parent_village = self.requests[parent].village;
                 let dst_cluster = self.core_cluster(server, parent_village);
                 let src_cluster = self.core_cluster(server, village);
@@ -1285,11 +1712,35 @@ impl SystemSim {
                 };
                 let spawned_at = self.requests[req].spawned_at;
                 self.breakdown.check(&bd, arrive - spawned_at);
-                // The parent blocked at exactly `spawned_at` and unblocks
-                // at `arrive`: fold the child's components in.
-                self.requests[parent].breakdown.merge(&bd);
-                self.events
-                    .schedule_at(arrive, Event::Unblock { req: parent });
+                let stale = {
+                    let p = &self.requests[parent];
+                    p.op_resolved || p.op_gen != gen || p.phase != Phase::Blocked
+                };
+                if stale {
+                    // A losing attempt's child: conservation-checked
+                    // above, but its operation already resolved (or was
+                    // abandoned) — never merged into the parent.
+                    self.faults.wasted_attempts += 1;
+                } else if self.drop_p > 0.0 && self.fault_rng.gen::<f64>() < self.drop_p {
+                    // The response leg is lost; the parent recovers
+                    // through its timeout.
+                    self.faults.drops += 1;
+                } else {
+                    // The winning attempt: the child's components cover
+                    // [spawned_at, arrive]; the issue delay back to the
+                    // operation start (zero for an unhedged primary) is
+                    // resilience. Fold both into the parent, whose
+                    // blocked interval they exactly tile.
+                    let child_gave_up = self.requests[req].gave_up;
+                    let p = &mut self.requests[parent];
+                    p.breakdown.merge(&bd);
+                    let resilience = spawned_at - p.op_started_at;
+                    p.breakdown.charge(Component::Resilience, resilience);
+                    p.gave_up |= child_gave_up;
+                    p.op_resolved = true;
+                    self.events
+                        .schedule_at(arrive, Event::Unblock { req: parent });
+                }
             }
         }
 
@@ -1320,6 +1771,18 @@ impl SystemSim {
                         "{} completions recorded for {} admitted requests",
                         self.completed,
                         self.requests.len()
+                    ),
+                );
+            }
+            // Fault accounting: every plan event must have either taken
+            // effect or been explicitly masked — never silently vanished.
+            let planned = self.cfg.fault_plan.len() as u64;
+            if self.faults.faults_applied + self.faults.faults_masked != planned {
+                um_sim::sanitizer::report(
+                    "fault-accounting",
+                    format!(
+                        "{} applied + {} masked != {planned} planned fault events",
+                        self.faults.faults_applied, self.faults.faults_masked
                     ),
                 );
             }
@@ -1364,8 +1827,18 @@ impl SystemSim {
                 icn_queue as f64 / icn_messages as f64
             },
             conservation,
+            faults: self.faults,
             breakdown,
         }
+    }
+
+    /// Unbalances the fault-accounting totals so the `fault-accounting`
+    /// sanitizer checker trips at the end of the run. Deliberate-violation
+    /// tests only.
+    #[cfg(feature = "sim-sanitizer")]
+    #[doc(hidden)]
+    pub fn corrupt_fault_accounting_for_sanitizer_test(&mut self) {
+        self.faults.faults_applied += 1;
     }
 }
 
@@ -1771,5 +2244,282 @@ mod tests {
             queues_override: Some(3),
             ..SimConfig::default()
         });
+    }
+
+    // ---- fault injection & tail mitigation -----------------------------
+
+    use um_sched::{HedgeConfig, RetryConfig};
+    use um_sim::fault::FaultWindow;
+
+    fn faulted(
+        machine: MachineConfig,
+        plan: FaultPlan,
+        mitigation: MitigationConfig,
+        seed: u64,
+        horizon_us: f64,
+    ) -> RunReport {
+        SystemSim::new(SimConfig {
+            machine,
+            workload: Workload::social_mix(),
+            rps_per_server: 5_000.0,
+            servers: 1,
+            horizon_us,
+            warmup_us: horizon_us * 0.1,
+            seed,
+            fault_plan: plan,
+            mitigation,
+            ..SimConfig::default()
+        })
+        .run()
+    }
+
+    #[test]
+    fn empty_plan_and_noop_mitigation_change_nothing() {
+        // The healthy-identity contract: a fault plan with no events and
+        // an all-off mitigation config must be bit-identical to the
+        // default configuration — no extra draws, events or charges.
+        let baseline = quick(MachineConfig::umanycore(), 5_000.0, 7);
+        let plumbed = faulted(
+            MachineConfig::umanycore(),
+            FaultPlan::builder(99).build(),
+            MitigationConfig {
+                steer: true, // inert without a plan
+                ..MitigationConfig::default()
+            },
+            7,
+            20_000.0,
+        );
+        assert_eq!(
+            baseline.latency.p99.to_bits(),
+            plumbed.latency.p99.to_bits()
+        );
+        assert_eq!(baseline.completed, plumbed.completed);
+        assert_eq!(baseline.faults.rpc_ops, plumbed.faults.rpc_ops);
+        assert_eq!(baseline.faults.rpc_attempts, plumbed.faults.rpc_ops);
+        assert_eq!(baseline.faults.hedges, 0);
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic_per_seed() {
+        let plan = FaultPlan::builder(3)
+            .message_drops(0.02)
+            .fail_slow_every_village(
+                1,
+                128,
+                1,
+                FaultWindow::new(Cycles::ZERO, Cycles::new(u64::MAX), 4.0),
+            )
+            .build();
+        let mitigation = MitigationConfig {
+            hedge: Some(HedgeConfig::after_quantile(0.95, 400.0)),
+            retry: Some(RetryConfig::with_timeout_us(1_000.0)),
+            steer: true,
+        };
+        let a = faulted(
+            MachineConfig::umanycore(),
+            plan.clone(),
+            mitigation,
+            11,
+            20_000.0,
+        );
+        let b = faulted(MachineConfig::umanycore(), plan, mitigation, 11, 20_000.0);
+        assert_eq!(a.latency.p99.to_bits(), b.latency.p99.to_bits());
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.completed, b.completed);
+        assert!(
+            a.conservation.exact(),
+            "conservation under faults: {:?}",
+            a.conservation
+        );
+    }
+
+    #[test]
+    fn fail_stops_shrink_capacity_and_are_accounted() {
+        let horizon = 20_000.0;
+        let freq = MachineConfig::umanycore().core.frequency;
+        let mut b = FaultPlan::builder(5);
+        for v in 0..8 {
+            b = b.core_fail_stop(0, v, Cycles::from_micros(horizon * 0.2, freq));
+        }
+        // One aimed past the machine: masked, not lost.
+        let plan = b.core_fail_stop(7, 0, Cycles::ZERO).build();
+        let r = faulted(
+            MachineConfig::umanycore(),
+            plan.clone(),
+            MitigationConfig::default(),
+            5,
+            horizon,
+        );
+        assert_eq!(r.faults.cores_failed, 8);
+        assert_eq!(r.faults.faults_applied, 8);
+        assert_eq!(r.faults.faults_masked, 1);
+        assert_eq!(
+            r.faults.faults_applied + r.faults.faults_masked,
+            plan.len() as u64
+        );
+        assert!(r.conservation.exact());
+    }
+
+    #[test]
+    fn hedging_recovers_the_tail_under_fail_slow() {
+        // The ISSUE acceptance scenario: one fail-slow core in every
+        // 8-core village. Unmitigated, a sixth of the dispatches run 6x
+        // slower and the p99 blows up; hedging re-issues slow operations
+        // elsewhere and claws most of the tail back.
+        let window = FaultWindow::new(Cycles::ZERO, Cycles::new(u64::MAX), 6.0);
+        let plan = FaultPlan::builder(21)
+            .fail_slow_every_village(1, 128, 1, window)
+            .build();
+        let horizon = 60_000.0;
+        let healthy = faulted(
+            MachineConfig::umanycore(),
+            FaultPlan::none(),
+            MitigationConfig::default(),
+            9,
+            horizon,
+        );
+        let degraded = faulted(
+            MachineConfig::umanycore(),
+            plan.clone(),
+            MitigationConfig::default(),
+            9,
+            horizon,
+        );
+        let hedged = faulted(
+            MachineConfig::umanycore(),
+            plan,
+            MitigationConfig {
+                hedge: Some(HedgeConfig::after_quantile(0.95, 250.0)),
+                ..MitigationConfig::default()
+            },
+            9,
+            horizon,
+        );
+        assert!(
+            degraded.latency.p99 > healthy.latency.p99 * 1.3,
+            "fail-slow cores must hurt the tail: degraded {} vs healthy {}",
+            degraded.latency.p99,
+            healthy.latency.p99
+        );
+        assert!(hedged.faults.hedges > 0, "hedges must fire");
+        assert!(
+            hedged.latency.p99 < degraded.latency.p99,
+            "hedging must recover tail latency: hedged {} vs degraded {}",
+            hedged.latency.p99,
+            degraded.latency.p99
+        );
+        assert!(hedged.conservation.exact(), "{:?}", hedged.conservation);
+    }
+
+    #[test]
+    fn retries_recover_dropped_messages() {
+        let plan = FaultPlan::builder(8).message_drops(0.02).build();
+        let r = faulted(
+            MachineConfig::umanycore(),
+            plan,
+            MitigationConfig {
+                retry: Some(RetryConfig::with_timeout_us(1_500.0)),
+                ..MitigationConfig::default()
+            },
+            31,
+            40_000.0,
+        );
+        assert!(r.faults.drops > 0, "drops must be injected: {:?}", r.faults);
+        assert!(r.faults.retries > 0, "retries must fire: {:?}", r.faults);
+        assert!(r.conservation.exact(), "{:?}", r.conservation);
+        // Retries keep nearly every request alive: far fewer give-ups
+        // than dropped legs.
+        assert!(
+            r.faults.gave_up_requests * 4 < r.faults.drops,
+            "retries must absorb most drops: {:?}",
+            r.faults
+        );
+    }
+
+    #[test]
+    fn unmitigated_drops_give_up_and_are_excluded() {
+        let plan = FaultPlan::builder(13).message_drops(0.05).build();
+        let r = faulted(
+            MachineConfig::umanycore(),
+            plan,
+            MitigationConfig::default(),
+            17,
+            40_000.0,
+        );
+        assert!(r.faults.drops > 0);
+        assert!(
+            r.faults.gave_up_ops > 0,
+            "without retries a lost leg abandons the op: {:?}",
+            r.faults
+        );
+        assert!(r.faults.gave_up_requests > 0);
+        // Abandoned requests still complete (and conserve), they are just
+        // not latency samples.
+        assert!(r.conservation.exact(), "{:?}", r.conservation);
+        assert!(r.completed > 0);
+    }
+
+    #[test]
+    fn steering_routes_around_degraded_villages() {
+        // Fully degrade a handful of villages; steering should dodge
+        // them at dispatch time and keep the tail near healthy.
+        let window = FaultWindow::new(Cycles::ZERO, Cycles::new(u64::MAX), 10.0);
+        let mut b = FaultPlan::builder(2);
+        for v in 0..16 {
+            b = b.core_fail_slow(0, v, 8, window);
+        }
+        let plan = b.build();
+        let horizon = 60_000.0;
+        let blind = faulted(
+            MachineConfig::umanycore(),
+            plan.clone(),
+            MitigationConfig::default(),
+            41,
+            horizon,
+        );
+        let steered = faulted(
+            MachineConfig::umanycore(),
+            plan,
+            MitigationConfig {
+                steer: true,
+                ..MitigationConfig::default()
+            },
+            41,
+            horizon,
+        );
+        assert!(
+            steered.latency.p99 < blind.latency.p99,
+            "steering must dodge degraded villages: steered {} vs blind {}",
+            steered.latency.p99,
+            blind.latency.p99
+        );
+    }
+
+    #[test]
+    fn link_outages_delay_but_conserve() {
+        let freq = MachineConfig::umanycore().core.frequency;
+        let outage = FaultWindow::new(
+            Cycles::from_micros(2_000.0, freq),
+            Cycles::from_micros(6_000.0, freq),
+            f64::INFINITY,
+        );
+        let plan = FaultPlan::builder(6)
+            .link_fault(0, 3, outage)
+            .link_fault(
+                0,
+                11,
+                FaultWindow::new(Cycles::ZERO, Cycles::new(u64::MAX), 3.0),
+            )
+            .build();
+        let r = faulted(
+            MachineConfig::umanycore(),
+            plan.clone(),
+            MitigationConfig::default(),
+            19,
+            20_000.0,
+        );
+        assert_eq!(r.faults.faults_applied, plan.len() as u64);
+        assert!(r.conservation.exact(), "{:?}", r.conservation);
+        assert!(r.completed > 0);
     }
 }

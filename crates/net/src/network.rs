@@ -9,6 +9,7 @@
 use crate::topology::{LinkId, Topology};
 use rand::rngs::SmallRng;
 use rand::Rng;
+use um_sim::fault::FaultWindow;
 use um_sim::{rng, Cycles};
 
 /// How redundant paths are chosen at ECMP branch points.
@@ -135,6 +136,8 @@ pub struct Network<T> {
     topo: T,
     config: NetworkConfig,
     busy_until: Vec<Cycles>,
+    /// Per-link fault windows (empty outer vec until the first injection).
+    faults: Vec<Vec<FaultWindow>>,
     rng: SmallRng,
     stats: NetworkStats,
 }
@@ -147,9 +150,33 @@ impl<T: Topology> Network<T> {
             topo,
             config,
             busy_until: vec![Cycles::ZERO; links],
+            faults: Vec::new(),
             rng: rng::stream(config.seed, "network-ecmp"),
             stats: NetworkStats::default(),
         }
+    }
+
+    /// Number of directed links (fault injection targets).
+    pub fn num_links(&self) -> usize {
+        self.busy_until.len()
+    }
+
+    /// Registers a fault window on `link` (applied modulo the link count).
+    ///
+    /// While a degradation window is active, serialization on the link is
+    /// stretched by `window.slowdown`; an outage window delays any message
+    /// reaching the link until the window closes. Either way the extra
+    /// delay is reported in [`SendTrace::queued`], preserving the
+    /// telescoping share invariant of [`Self::send_full`].
+    pub fn inject_link_fault(&mut self, link: usize, window: FaultWindow) {
+        let n = self.busy_until.len();
+        if n == 0 {
+            return;
+        }
+        if self.faults.is_empty() {
+            self.faults = vec![Vec::new(); n];
+        }
+        self.faults[link % n].push(window);
     }
 
     /// The underlying topology.
@@ -218,12 +245,14 @@ impl<T: Topology> Network<T> {
             ser_total += ser;
             if self.config.contention {
                 let free = self.busy_until[link];
-                let start = t.max(free);
-                queued += start - t;
-                self.busy_until[link] = start + ser;
-                t = start + ser + self.config.hop_latency;
+                let (start, occupancy) = self.fault_adjusted(link, t.max(free), ser);
+                queued += (start - t) + (occupancy - ser);
+                self.busy_until[link] = start + occupancy;
+                t = start + occupancy + self.config.hop_latency;
             } else {
-                t = t + ser + self.config.hop_latency;
+                let (start, occupancy) = self.fault_adjusted(link, t, ser);
+                queued += (start - t) + (occupancy - ser);
+                t = start + occupancy + self.config.hop_latency;
             }
         }
         self.stats.queue_cycles += queued.raw();
@@ -250,6 +279,38 @@ impl<T: Topology> Network<T> {
             t = t + self.serialization(bytes, link) + self.config.hop_latency;
         }
         t
+    }
+
+    /// Applies `link`'s fault windows to a transfer that would start
+    /// serializing at `start` and occupy the link for `ser` cycles:
+    /// outage windows push the start past their end; the worst active
+    /// degradation stretches the occupancy.
+    fn fault_adjusted(&self, link: LinkId, mut start: Cycles, ser: Cycles) -> (Cycles, Cycles) {
+        let Some(windows) = self.faults.get(link).filter(|w| !w.is_empty()) else {
+            return (start, ser);
+        };
+        // `start` only moves forward and each outage window can fire at
+        // most once, so this settles within `windows.len()` passes.
+        loop {
+            let mut moved = false;
+            for w in windows {
+                if w.is_outage() && w.contains(start) {
+                    start = w.until;
+                    moved = true;
+                }
+            }
+            if !moved {
+                break;
+            }
+        }
+        let mut slow = 1.0f64;
+        for w in windows {
+            if !w.is_outage() && w.contains(start) {
+                slow = slow.max(w.slowdown);
+            }
+        }
+        let occupancy = if slow > 1.0 { ser.scale(slow) } else { ser };
+        (start, occupancy)
     }
 
     fn serialization(&self, bytes: u64, link: LinkId) -> Cycles {
@@ -423,6 +484,108 @@ mod tests {
         let hop = net.config().hop_latency;
         assert_eq!(tr.propagation(hop), hop);
         assert_eq!(tr.arrival, Cycles::new(100) + hop);
+    }
+
+    #[test]
+    fn link_outage_delays_until_window_end_and_shares_telescope() {
+        let mut net = Network::new(Mesh2D::new(2, 1), NetworkConfig::on_package());
+        let healthy = net.send_full(0, 1, 64, Cycles::ZERO);
+        net.reset();
+        // Black out every link until cycle 500: the message must wait out
+        // the outage, and the wait must surface as queueing.
+        for link in 0..net.num_links() {
+            net.inject_link_fault(
+                link,
+                FaultWindow::new(Cycles::ZERO, Cycles::new(500), f64::INFINITY),
+            );
+        }
+        let tr = net.send_full(0, 1, 64, Cycles::ZERO);
+        assert!(tr.arrival >= Cycles::new(500) + healthy.arrival);
+        assert_eq!(tr.serialization, healthy.serialization);
+        assert_eq!(
+            tr.arrival,
+            tr.serialization + tr.queued + tr.propagation(net.config().hop_latency)
+        );
+        // After the window, the fault is gone.
+        let later = net.send_full(0, 1, 64, Cycles::new(1_000));
+        assert_eq!(later.queued, Cycles::ZERO);
+    }
+
+    #[test]
+    fn link_degradation_stretches_occupancy_as_queueing() {
+        let mut cfg = NetworkConfig::on_package();
+        cfg.strategy = RouteStrategy::Deterministic;
+        let mut net = Network::new(Mesh2D::new(2, 1), cfg);
+        let healthy = net.send_full(0, 1, 4096, Cycles::ZERO);
+        net.reset();
+        for link in 0..net.num_links() {
+            net.inject_link_fault(link, FaultWindow::new(Cycles::ZERO, Cycles::MAX, 4.0));
+        }
+        let tr = net.send_full(0, 1, 4096, Cycles::ZERO);
+        assert!(
+            tr.arrival > healthy.arrival,
+            "{} > {}",
+            tr.arrival,
+            healthy.arrival
+        );
+        assert_eq!(tr.serialization, healthy.serialization);
+        assert_eq!(
+            tr.queued,
+            healthy.serialization.scale(4.0) - healthy.serialization
+        );
+        assert_eq!(
+            tr.arrival,
+            tr.serialization + tr.queued + tr.propagation(net.config().hop_latency)
+        );
+    }
+
+    #[test]
+    fn contention_free_mode_still_honors_faults() {
+        let mut net = Network::new(Mesh2D::new(2, 1), NetworkConfig::contention_free());
+        let healthy = net.send(0, 1, 64, Cycles::ZERO);
+        net.inject_link_fault(
+            0,
+            FaultWindow::new(Cycles::ZERO, Cycles::new(300), f64::INFINITY),
+        );
+        net.inject_link_fault(
+            1,
+            FaultWindow::new(Cycles::ZERO, Cycles::new(300), f64::INFINITY),
+        );
+        let faulted = net.send(0, 1, 64, Cycles::ZERO);
+        assert!(faulted >= Cycles::new(300));
+        assert!(faulted > healthy);
+    }
+
+    #[test]
+    fn fault_injection_wraps_link_index() {
+        let mut net = Network::new(Mesh2D::new(2, 1), NetworkConfig::on_package());
+        let n = net.num_links();
+        assert!(n > 0);
+        // An out-of-range index lands on `index % n` instead of panicking.
+        net.inject_link_fault(
+            n + 1,
+            FaultWindow::new(Cycles::ZERO, Cycles::new(100), f64::INFINITY),
+        );
+        assert_eq!(net.faults.iter().map(Vec::len).sum::<usize>(), 1);
+        assert_eq!(net.faults[1].len(), 1);
+    }
+
+    #[test]
+    fn chained_outage_windows_compose() {
+        let mut cfg = NetworkConfig::on_package();
+        cfg.strategy = RouteStrategy::Deterministic;
+        let mut net = Network::new(Mesh2D::new(2, 1), cfg);
+        // Two abutting outages: escaping the first lands in the second.
+        net.inject_link_fault(
+            0,
+            FaultWindow::new(Cycles::ZERO, Cycles::new(100), f64::INFINITY),
+        );
+        net.inject_link_fault(
+            0,
+            FaultWindow::new(Cycles::new(100), Cycles::new(250), f64::INFINITY),
+        );
+        let tr = net.send_full(0, 1, 64, Cycles::ZERO);
+        assert!(tr.queued >= Cycles::new(250), "queued {}", tr.queued);
     }
 
     #[test]

@@ -21,6 +21,9 @@
 //! - [`Dispatcher`]: the centralized software dispatcher bottleneck that
 //!   §4.4 measures for Shinjuku-style scheduling.
 //! - [`DequeuePolicy`]: FCFS vs SRPT (§4.3 discusses why FCFS suffices).
+//! - [`mitigation`]: tail-mitigation policies — request hedging,
+//!   timeout/backoff retry with a token [`RetryBudget`], straggler-aware
+//!   steering — applied by the system simulator under fault injection.
 //!
 //! # Examples
 //!
@@ -40,10 +43,12 @@
 
 pub mod ctxswitch;
 pub mod fabric;
+pub mod mitigation;
 pub mod policy;
 pub mod rq;
 
 pub use ctxswitch::{CtxSwitchModel, Dispatcher};
 pub use fabric::{FabricConfig, QueueFabric};
+pub use mitigation::{HedgeConfig, MitigationConfig, RetryBudget, RetryConfig};
 pub use policy::DequeuePolicy;
 pub use rq::{PartitionedRq, RequestQueue, RqEntryStatus, RqError, RqSlot};

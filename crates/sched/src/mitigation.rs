@@ -1,0 +1,247 @@
+//! Tail-mitigation policies for RPC operations.
+//!
+//! "The Tail at Scale" playbook, as scheduler-side policy objects: request
+//! hedging (issue a backup copy after a delay tuned to a latency
+//! quantile), timeout + exponential-backoff retry gated by a token
+//! [`RetryBudget`], and straggler-aware steering (dispatch away from
+//! villages a fault plan marks degraded). This module holds the *policy*
+//! descriptions and the budget bookkeeping; the system simulator in
+//! `umanycore` applies them to its RPC operations.
+//!
+//! All parameters are plain data — mitigation adds no RNG streams of its
+//! own, so enabling a policy never perturbs an unrelated run's draws.
+
+/// When to issue a hedge (backup) attempt for an in-flight RPC.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HedgeConfig {
+    /// Issue the backup this long after the primary, in microseconds.
+    pub delay_us: f64,
+}
+
+impl HedgeConfig {
+    /// Hedge after a fixed delay.
+    pub fn after_delay_us(delay_us: f64) -> Self {
+        assert!(delay_us >= 0.0, "hedge delay must be nonnegative");
+        Self { delay_us }
+    }
+
+    /// Hedge once the attempt has outlived quantile `q` of an exponential
+    /// service-time model with mean `typical_us` — the classic "hedge
+    /// after the 95th percentile" rule with `q = 0.95`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < q < 1` and `typical_us > 0`.
+    pub fn after_quantile(q: f64, typical_us: f64) -> Self {
+        assert!((0.0..1.0).contains(&q) && q > 0.0, "quantile in (0,1)");
+        assert!(typical_us > 0.0, "typical latency must be positive");
+        Self {
+            delay_us: typical_us * (1.0 / (1.0 - q)).ln(),
+        }
+    }
+}
+
+/// Timeout/retry policy for an RPC operation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RetryConfig {
+    /// Declare an attempt lost this long after issuing it, in
+    /// microseconds.
+    pub timeout_us: f64,
+    /// Multiplier applied to the timeout after each failed attempt
+    /// (exponential backoff; 1.0 disables backoff).
+    pub backoff: f64,
+    /// Total attempts allowed, including the first (so `max_attempts: 3`
+    /// means up to two retries).
+    pub max_attempts: u32,
+    /// Retry-budget earn rate: tokens of retry allowance earned per
+    /// operation started (the "retries may be at most this fraction of
+    /// traffic" rule). `0.1` caps retries at ~10% of operations.
+    pub budget_fraction: f64,
+}
+
+impl RetryConfig {
+    /// A sane default: timeout after `timeout_us`, doubling backoff,
+    /// three total attempts, retries capped at 10% of traffic.
+    pub fn with_timeout_us(timeout_us: f64) -> Self {
+        assert!(timeout_us > 0.0, "timeout must be positive");
+        Self {
+            timeout_us,
+            backoff: 2.0,
+            max_attempts: 3,
+            budget_fraction: 0.1,
+        }
+    }
+
+    /// The timeout for attempt number `attempt` (1-based), with backoff
+    /// applied: `timeout_us * backoff^(attempt-1)`.
+    pub fn timeout_for_attempt_us(&self, attempt: u32) -> f64 {
+        self.timeout_us * self.backoff.powi(attempt.saturating_sub(1) as i32)
+    }
+}
+
+/// The full mitigation policy set for a run. [`Default`] is everything
+/// off — a run with the default config is bit-identical to one predating
+/// the mitigation machinery.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct MitigationConfig {
+    /// Hedged requests, if any.
+    pub hedge: Option<HedgeConfig>,
+    /// Timeout + retry, if any.
+    pub retry: Option<RetryConfig>,
+    /// Straggler-aware steering: exclude fault-degraded villages from
+    /// dispatch when a healthy alternative exists.
+    pub steer: bool,
+}
+
+impl MitigationConfig {
+    /// Whether every policy is disabled.
+    pub fn is_noop(&self) -> bool {
+        self.hedge.is_none() && self.retry.is_none() && !self.steer
+    }
+}
+
+/// Token-bucket retry budget in integer millitokens.
+///
+/// Every operation start earns `budget_fraction` of a token; each retry
+/// spends a whole token. Integer arithmetic keeps the budget exactly
+/// reproducible (no float-accumulation drift across UM_THREADS splits).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryBudget {
+    /// Balance in 1/1000ths of a retry token. Never negative in a
+    /// healthy run (the `retry-budget` sanitizer checker enforces this).
+    millitokens: i64,
+    /// Earned per operation start, in millitokens.
+    earn_rate: i64,
+}
+
+/// Millitokens one retry costs.
+const RETRY_COST: i64 = 1_000;
+
+impl RetryBudget {
+    /// A budget earning `fraction` of a retry token per operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `fraction` is in `[0, 1]`.
+    pub fn new(fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "budget fraction in [0, 1], got {fraction}"
+        );
+        Self {
+            millitokens: 0,
+            earn_rate: (fraction * RETRY_COST as f64).round() as i64,
+        }
+    }
+
+    /// Credits one operation start.
+    pub fn earn(&mut self) {
+        self.millitokens = self.millitokens.saturating_add(self.earn_rate);
+    }
+
+    /// Tries to pay for one retry. Returns whether the retry is allowed;
+    /// on refusal the balance is untouched.
+    pub fn try_spend(&mut self) -> bool {
+        if self.millitokens >= RETRY_COST {
+            self.millitokens -= RETRY_COST;
+            self.check();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Current balance in whole retry tokens (floor).
+    pub fn tokens(&self) -> i64 {
+        self.millitokens / RETRY_COST
+    }
+
+    /// Sanitizer hook: the balance must never go negative — `try_spend`
+    /// refuses before overdrawing, so a negative balance means a code
+    /// path spent without asking.
+    fn check(&self) {
+        #[cfg(feature = "sim-sanitizer")]
+        if self.millitokens < 0 {
+            um_sim::sanitizer::report(
+                "retry-budget",
+                format!("retry budget overdrawn to {} millitokens", self.millitokens),
+            );
+        }
+    }
+
+    /// Overdraws the budget unconditionally.
+    ///
+    /// Exists only so sanitizer tests can verify the `retry-budget`
+    /// checker fires; never call this from simulation code.
+    #[cfg(feature = "sim-sanitizer")]
+    #[doc(hidden)]
+    pub fn force_spend_for_sanitizer_test(&mut self) {
+        self.millitokens -= RETRY_COST;
+        self.check();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_mitigation_is_noop() {
+        let m = MitigationConfig::default();
+        assert!(m.is_noop());
+        assert!(!MitigationConfig {
+            steer: true,
+            ..Default::default()
+        }
+        .is_noop());
+    }
+
+    #[test]
+    fn hedge_quantile_matches_exponential_inverse_cdf() {
+        // P95 of Exp(mean=100us) is 100*ln(20) ≈ 299.6us.
+        let h = HedgeConfig::after_quantile(0.95, 100.0);
+        assert!((h.delay_us - 100.0 * 20.0f64.ln()).abs() < 1e-9);
+        assert_eq!(HedgeConfig::after_delay_us(50.0).delay_us, 50.0);
+    }
+
+    #[test]
+    fn backoff_grows_timeouts_geometrically() {
+        let r = RetryConfig::with_timeout_us(200.0);
+        assert_eq!(r.timeout_for_attempt_us(1), 200.0);
+        assert_eq!(r.timeout_for_attempt_us(2), 400.0);
+        assert_eq!(r.timeout_for_attempt_us(3), 800.0);
+        let flat = RetryConfig { backoff: 1.0, ..r };
+        assert_eq!(flat.timeout_for_attempt_us(3), 200.0);
+    }
+
+    #[test]
+    fn budget_earns_fractionally_and_spends_whole_tokens() {
+        let mut b = RetryBudget::new(0.1);
+        assert!(!b.try_spend(), "empty budget refuses");
+        for _ in 0..9 {
+            b.earn();
+        }
+        assert!(!b.try_spend(), "0.9 tokens is not enough");
+        b.earn();
+        assert!(b.try_spend(), "1.0 tokens pays for one retry");
+        assert!(!b.try_spend(), "balance spent");
+        assert_eq!(b.tokens(), 0);
+    }
+
+    #[test]
+    fn zero_fraction_budget_never_allows_retries() {
+        let mut b = RetryBudget::new(0.0);
+        for _ in 0..1_000 {
+            b.earn();
+        }
+        assert!(!b.try_spend());
+    }
+
+    #[test]
+    fn full_fraction_budget_allows_one_retry_per_op() {
+        let mut b = RetryBudget::new(1.0);
+        b.earn();
+        assert!(b.try_spend());
+        assert!(!b.try_spend());
+    }
+}

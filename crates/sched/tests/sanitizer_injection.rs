@@ -1,9 +1,10 @@
-//! Deliberate-violation tests for the `sim-sanitizer` run-queue checker:
-//! a corrupted occupancy counter must surface as a structured violation,
-//! and a full request lifecycle must leave the registry empty.
+//! Deliberate-violation tests for the `sim-sanitizer` checkers in this
+//! crate: a corrupted RQ occupancy counter and an overdrawn retry budget
+//! must surface as structured violations, while healthy lifecycles leave
+//! the registry empty.
 #![cfg(feature = "sim-sanitizer")]
 
-use um_sched::RequestQueue;
+use um_sched::{RequestQueue, RetryBudget};
 use um_sim::sanitizer;
 
 #[test]
@@ -18,6 +19,36 @@ fn corrupted_occupancy_is_reported() {
         violations.iter().any(|v| v.checker == "rq-occupancy"),
         "occupancy drift reported: {violations:?}"
     );
+}
+
+#[test]
+fn overdrawn_retry_budget_is_reported() {
+    let _ = sanitizer::take();
+    let mut budget = RetryBudget::new(0.1);
+    budget.earn();
+    assert!(!budget.try_spend(), "0.1 tokens cannot pay for a retry");
+    assert_eq!(
+        sanitizer::violation_count(),
+        0,
+        "a refusal is not a violation"
+    );
+    budget.force_spend_for_sanitizer_test();
+    let violations = sanitizer::take();
+    assert!(
+        violations.iter().any(|v| v.checker == "retry-budget"),
+        "overdraw reported: {violations:?}"
+    );
+}
+
+#[test]
+fn healthy_budget_lifecycle_stays_clean() {
+    let _ = sanitizer::take();
+    let mut budget = RetryBudget::new(0.5);
+    for _ in 0..100 {
+        budget.earn();
+        let _ = budget.try_spend();
+    }
+    assert_eq!(sanitizer::violation_count(), 0);
 }
 
 #[test]

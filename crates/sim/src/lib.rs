@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 mod queue;
 pub mod rng;
 #[cfg(feature = "sim-sanitizer")]

@@ -70,11 +70,16 @@ pub enum Component {
     /// Software interference hiccups (kernel preemption, interrupts,
     /// daemons — the tail-at-scale mechanism).
     Interference,
+    /// Resilience machinery on the request path: time an RPC operation
+    /// spent waiting on attempts that did not win (retry timeouts and
+    /// backoff, hedge delay before the winning attempt was issued, and
+    /// the full wait of an operation that exhausted its attempts).
+    Resilience,
 }
 
 impl Component {
     /// Number of components.
-    pub const COUNT: usize = 11;
+    pub const COUNT: usize = 12;
 
     /// All components, in display order.
     pub const ALL: [Component; Self::COUNT] = [
@@ -89,6 +94,7 @@ impl Component {
         Component::MemStall,
         Component::StorageService,
         Component::Interference,
+        Component::Resilience,
     ];
 
     /// Stable index of this component in [`Component::ALL`].
@@ -105,6 +111,7 @@ impl Component {
             Component::MemStall => 8,
             Component::StorageService => 9,
             Component::Interference => 10,
+            Component::Resilience => 11,
         }
     }
 
@@ -122,6 +129,7 @@ impl Component {
             Component::MemStall => "mem-stall",
             Component::StorageService => "storage-service",
             Component::Interference => "interference",
+            Component::Resilience => "resilience",
         }
     }
 }

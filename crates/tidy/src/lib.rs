@@ -26,6 +26,7 @@
 //! | `unseeded-rng` | `thread_rng`, `from_entropy` | everywhere but `um-bench` |
 //! | `cycle-trunc-cast` | `as u32`/`as usize`/… on cycle/latency values | non-test code |
 //! | `cycle-float-cmp` | `==`/`!=` on float cycle/latency values | non-test code |
+//! | `raw-fault-plan` | `FaultPlan::from_events` (bypasses the seeded builder) | outside `um-sim`, non-test code |
 //! | `debug-macro` | `dbg!`, `todo!`, `unimplemented!` | non-test code |
 //! | `ignore-without-reason` | bare `#[ignore]` | everywhere |
 //! | `unsafe-without-safety` | `unsafe` without a `// SAFETY:` comment | everywhere |
@@ -60,6 +61,8 @@ pub enum Rule {
     CycleTruncCast,
     /// Float equality on a cycle/latency-named value.
     CycleFloatCmp,
+    /// `FaultPlan::from_events` outside `um-sim` (bypasses seeded builder).
+    RawFaultPlan,
     /// `dbg!` / `todo!` / `unimplemented!` in non-test code.
     DebugMacro,
     /// `#[ignore]` without a reason string.
@@ -72,12 +75,13 @@ pub enum Rule {
 
 impl Rule {
     /// All rules, for `--list-rules` and the allow-directive parser.
-    pub const ALL: [Rule; 9] = [
+    pub const ALL: [Rule; 10] = [
         Rule::UnorderedContainer,
         Rule::WallClock,
         Rule::UnseededRng,
         Rule::CycleTruncCast,
         Rule::CycleFloatCmp,
+        Rule::RawFaultPlan,
         Rule::DebugMacro,
         Rule::IgnoreWithoutReason,
         Rule::UnsafeWithoutSafety,
@@ -92,6 +96,7 @@ impl Rule {
             Rule::UnseededRng => "unseeded-rng",
             Rule::CycleTruncCast => "cycle-trunc-cast",
             Rule::CycleFloatCmp => "cycle-float-cmp",
+            Rule::RawFaultPlan => "raw-fault-plan",
             Rule::DebugMacro => "debug-macro",
             Rule::IgnoreWithoutReason => "ignore-without-reason",
             Rule::UnsafeWithoutSafety => "unsafe-without-safety",
@@ -121,6 +126,10 @@ impl Rule {
             Rule::CycleFloatCmp => {
                 "float equality on cycle/latency values is precision-dependent; compare in \
                  integer Cycles or use an epsilon"
+            }
+            Rule::RawFaultPlan => {
+                "FaultPlan::from_events bypasses the seeded builder; construct plans with \
+                 FaultPlan::builder(seed) so sweeps stay derive_seed-reproducible"
             }
             Rule::DebugMacro => "dbg!/todo!/unimplemented! must not reach non-test code",
             Rule::IgnoreWithoutReason => "#[ignore] needs a reason string: #[ignore = \"why\"]",
@@ -193,6 +202,13 @@ impl FileContext {
     /// (Criterion interop) and this crate.
     fn bans_wall_clock(&self) -> bool {
         !matches!(&self.krate, Some(k) if k == "bench" || k == "tidy")
+    }
+
+    /// Raw fault-plan construction is banned outside `um-sim` (where the
+    /// seeded builder lives and round-trips through `from_events` in its
+    /// own tests) and this crate.
+    fn bans_raw_fault_plan(&self) -> bool {
+        !matches!(&self.krate, Some(k) if k == "sim" || k == "tidy")
     }
 }
 
@@ -436,6 +452,18 @@ pub fn check_source(rel_path: &str, source: &str) -> Vec<Diagnostic> {
             }
         }
 
+        // -- fault-plan provenance --------------------------------------
+        if ctx.bans_raw_fault_plan() && !in_test && contains_word(&cleaned, "from_events") {
+            flag(
+                Rule::RawFaultPlan,
+                "raw fault-plan construction bypasses the seeded builder: use \
+                 FaultPlan::builder(seed) so plans derive from the master seed and sweeps \
+                 stay reproducible"
+                    .into(),
+                &mut diags,
+            );
+        }
+
         // -- cycle-arithmetic rules -------------------------------------
         if !in_test {
             let lower = cleaned.to_lowercase();
@@ -669,6 +697,19 @@ mod tests {
         assert!(check_source("crates/sim/src/x.rs", good).is_empty());
         let forbid = "#![forbid(unsafe_code)]\n";
         assert!(check_source("crates/sim/src/x.rs", forbid).is_empty());
+    }
+
+    #[test]
+    fn raw_fault_plan_flagged_outside_sim() {
+        let src = "let plan = FaultPlan::from_events(7, events);\n";
+        assert_eq!(
+            check_source("crates/core/src/x.rs", src)[0].rule,
+            Rule::RawFaultPlan
+        );
+        // um-sim itself (builder internals, round-trip tests) is exempt,
+        // as is test code anywhere.
+        assert!(check_source("crates/sim/src/fault.rs", src).is_empty());
+        assert!(check_source("tests/t.rs", src).is_empty());
     }
 
     #[test]

@@ -1,0 +1,7 @@
+// Fixture: fault plans constructed outside the seeded builder.
+pub fn plans() {
+    let _raw = um_sim::fault::FaultPlan::from_events(7, vec![]);
+    // um-tidy: allow(raw-fault-plan) -- serialization round-trip, events already seed-derived
+    let _ok = um_sim::fault::FaultPlan::from_events(7, vec![]);
+    let _seeded = um_sim::fault::FaultPlan::builder(7).build();
+}

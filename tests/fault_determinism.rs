@@ -1,0 +1,164 @@
+//! Determinism of fault-injected runs.
+//!
+//! The fault subsystem's core contract: a [`FaultPlan`] is part of the
+//! configuration, so a faulted run must be exactly as reproducible as a
+//! healthy one — bit-identical across repeats and across `UM_THREADS`
+//! worker-pool sizes — and different fault seeds must actually produce
+//! different plans (seed injectivity through `derive_seed`).
+
+use proptest::prelude::*;
+use um_arch::MachineConfig;
+use um_sched::{HedgeConfig, MitigationConfig, RetryConfig};
+use um_sim::fault::{FaultPlan, FaultWindow};
+use um_sim::Cycles;
+use umanycore::experiments::parallel::map_with_threads;
+use umanycore::{RunReport, SimConfig, SystemSim, Workload};
+
+const HORIZON_US: f64 = 8_000.0;
+
+/// A random-but-seeded fault plan: the builder's own randomized helpers
+/// plus optional village-wide fail-slow and message drops, shaped by the
+/// proptest inputs.
+fn random_plan(seed: u64, stops: usize, links: usize, slow: u32, drops: bool) -> FaultPlan {
+    let freq = MachineConfig::umanycore().core.frequency;
+    let horizon = Cycles::from_micros(HORIZON_US, freq);
+    let mean_outage = Cycles::from_micros(500.0, freq);
+    let mut b = FaultPlan::builder(seed)
+        .random_fail_stops(stops, 1, 128, horizon)
+        .random_link_faults(links, 1, 16, horizon, mean_outage, 4.0);
+    if slow > 0 {
+        b = b.fail_slow_every_village(1, 128, slow, FaultWindow::new(Cycles::ZERO, horizon, 5.0));
+    }
+    if drops {
+        b = b.message_drops(0.01);
+    }
+    b.build()
+}
+
+fn mitigation(hedge: bool, retry: bool, steer: bool) -> MitigationConfig {
+    MitigationConfig {
+        hedge: hedge.then(|| HedgeConfig::after_quantile(0.9, 300.0)),
+        retry: retry.then(|| RetryConfig::with_timeout_us(1_200.0)),
+        steer,
+    }
+}
+
+fn run_sim(plan: &FaultPlan, mitigation: MitigationConfig, seed: u64) -> RunReport {
+    SystemSim::new(SimConfig {
+        machine: MachineConfig::umanycore(),
+        workload: Workload::social_mix(),
+        rps_per_server: 6_000.0,
+        servers: 1,
+        horizon_us: HORIZON_US,
+        warmup_us: 800.0,
+        seed,
+        fault_plan: plan.clone(),
+        mitigation,
+        ..SimConfig::default()
+    })
+    .run()
+}
+
+/// The report fields a determinism check compares, bit-exactly.
+fn fingerprint(r: &RunReport) -> (u64, u64, u64, u64, umanycore::FaultStats) {
+    (
+        r.latency.p99.to_bits(),
+        r.latency.mean.to_bits(),
+        r.completed,
+        r.recorded,
+        r.faults,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 10, // each case runs full simulations at two pool sizes
+        ..ProptestConfig::default()
+    })]
+
+    /// Any fault plan + mitigation combination is bit-identical across
+    /// repeats and across `UM_THREADS` pool sizes, conserves latency, and
+    /// accounts for every planned fault event.
+    #[test]
+    fn faulted_runs_are_bit_identical_across_threads(
+        plan_seed in 0u64..1_000,
+        stops in 0usize..4,
+        links in 0usize..3,
+        slow in 0u32..2,
+        drops in proptest::bool::ANY,
+        hedge in proptest::bool::ANY,
+        retry in proptest::bool::ANY,
+        steer in proptest::bool::ANY,
+        seed in 0u64..100,
+    ) {
+        let plan = random_plan(plan_seed, stops, links, slow, drops);
+        let m = mitigation(hedge, retry, steer);
+        let configs: Vec<(FaultPlan, MitigationConfig, u64)> = (0..2)
+            .map(|i| (plan.clone(), m, seed + i))
+            .collect();
+        let serial = map_with_threads(1, configs.clone(), |_, (p, m, s)| run_sim(&p, m, s));
+        let pooled = map_with_threads(4, configs, |_, (p, m, s)| run_sim(&p, m, s));
+        for (a, b) in serial.iter().zip(&pooled) {
+            prop_assert_eq!(fingerprint(a), fingerprint(b));
+        }
+        for r in &serial {
+            prop_assert!(r.conservation.exact(), "conservation: {:?}", r.conservation);
+            prop_assert_eq!(
+                r.faults.faults_applied + r.faults.faults_masked,
+                plan.len() as u64,
+                "fault accounting: {:?} vs {} planned", r.faults, plan.len()
+            );
+        }
+    }
+
+    /// Different fault-plan seeds give different randomized plans (seed
+    /// injectivity through the derived fault stream) while the *same*
+    /// seed reproduces the plan exactly.
+    #[test]
+    fn plan_seeds_are_injective(seed_a in 0u64..10_000, offset in 1u64..10_000) {
+        let seed_b = seed_a + offset;
+        let build = |seed: u64| random_plan(seed, 4, 3, 0, false);
+        prop_assert_eq!(build(seed_a), build(seed_a));
+        prop_assert_ne!(build(seed_a), build(seed_b));
+    }
+
+    /// Different simulation seeds under the same fault plan produce
+    /// different runs — the fault stream does not collapse the seed space.
+    #[test]
+    fn sim_seeds_stay_injective_under_faults(seed_a in 0u64..1_000, offset in 1u64..1_000) {
+        let plan = random_plan(7, 2, 2, 1, true);
+        let m = mitigation(true, true, true);
+        let a = run_sim(&plan, m, seed_a);
+        let b = run_sim(&plan, m, seed_a + offset);
+        prop_assert_ne!(a.latency.p99.to_bits(), b.latency.p99.to_bits());
+    }
+}
+
+/// A fixed-scenario anchor for the proptests above: the exact
+/// ISSUE acceptance configuration (one fail-slow core per village,
+/// hedging on) is bit-identical across `UM_THREADS` 1 and 4.
+#[test]
+fn acceptance_scenario_is_thread_invariant() {
+    let freq = MachineConfig::umanycore().core.frequency;
+    let plan = FaultPlan::builder(42)
+        .fail_slow_every_village(
+            1,
+            128,
+            1,
+            FaultWindow::new(Cycles::ZERO, Cycles::from_micros(HORIZON_US, freq), 6.0),
+        )
+        .build();
+    let m = MitigationConfig {
+        hedge: Some(HedgeConfig::after_quantile(0.95, 250.0)),
+        ..MitigationConfig::default()
+    };
+    let a = run_sim(&plan, m, 7);
+    let b = map_with_threads(4, vec![(plan, m)], |_, (p, m)| run_sim(&p, m, 7))
+        .pop()
+        .expect("one report");
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+    assert!(
+        a.faults.hedges > 0,
+        "hedges fire in the acceptance scenario"
+    );
+}

@@ -10,7 +10,10 @@
 use proptest::prelude::*;
 use um_arch::config::IcnKind;
 use um_arch::MachineConfig;
+use um_sched::{HedgeConfig, MitigationConfig, RetryConfig};
+use um_sim::fault::{FaultPlan, FaultWindow};
 use um_sim::rng;
+use um_sim::Cycles;
 use umanycore::experiments::parallel;
 use umanycore::{ArrivalProcess, RunReport, SimConfig, SystemSim, Workload};
 
@@ -86,6 +89,59 @@ proptest! {
         .run();
         assert_conserved(&r);
         prop_assert_eq!(r.breakdown.is_some(), trace);
+    }
+
+    /// Conservation survives the resilience machinery: hedged attempts,
+    /// timed-out retries, dropped messages, and abandoned operations all
+    /// still charge every cycle of a request's lifetime to exactly one
+    /// component. A cancelled hedge in particular must not double-charge
+    /// the blocked span.
+    #[test]
+    fn conservation_holds_for_hedged_retried_and_abandoned_requests(
+        drop_p in 0.0f64..0.08,
+        hedge in proptest::bool::ANY,
+        retry in proptest::bool::ANY,
+        steer in proptest::bool::ANY,
+        slow in 0u32..2,
+        seed in 0u64..1_000,
+    ) {
+        let freq = MachineConfig::umanycore().core.frequency;
+        let horizon = Cycles::from_micros(8_000.0, freq);
+        let mut plan = FaultPlan::builder(seed ^ 0x5eed)
+            .message_drops(drop_p);
+        if slow > 0 {
+            plan = plan.fail_slow_every_village(
+                1,
+                128,
+                slow,
+                FaultWindow::new(Cycles::ZERO, horizon, 5.0),
+            );
+        }
+        let r = SystemSim::new(SimConfig {
+            machine: MachineConfig::umanycore(),
+            workload: Workload::social_mix(),
+            rps_per_server: 6_000.0,
+            horizon_us: 8_000.0,
+            warmup_us: 800.0,
+            seed,
+            fault_plan: plan.build(),
+            mitigation: MitigationConfig {
+                hedge: hedge.then(|| HedgeConfig::after_quantile(0.9, 300.0)),
+                retry: retry.then(|| RetryConfig::with_timeout_us(1_200.0)),
+                steer,
+            },
+            trace: true,
+            ..SimConfig::default()
+        })
+        .run();
+        assert_conserved(&r);
+        // Mitigation accounting is internally consistent no matter the mix.
+        prop_assert!(r.faults.rpc_attempts >= r.faults.rpc_ops);
+        prop_assert_eq!(
+            r.faults.rpc_attempts - r.faults.rpc_ops,
+            r.faults.hedges + r.faults.retries,
+            "extra attempts are exactly the hedges plus the retries"
+        );
     }
 }
 
@@ -165,5 +221,30 @@ fn conservation_survives_rq_overflow() {
     })
     .run();
     assert!(r.rq_overflows > 0, "capacity 2 must overflow at this load");
+    assert_conserved(&r);
+}
+
+/// Heavy unmitigated message loss abandons operations outright; the
+/// abandoned requests' whole blocked spans land in `resilience` and the
+/// books still balance to the cycle.
+#[test]
+fn conservation_survives_abandoned_requests() {
+    let r = SystemSim::new(SimConfig {
+        machine: MachineConfig::umanycore(),
+        workload: Workload::social_mix(),
+        rps_per_server: 6_000.0,
+        horizon_us: 20_000.0,
+        warmup_us: 2_000.0,
+        seed: 8,
+        fault_plan: FaultPlan::builder(8).message_drops(0.05).build(),
+        trace: true,
+        ..SimConfig::default()
+    })
+    .run();
+    assert!(r.faults.gave_up_ops > 0, "5% loss must abandon operations");
+    assert!(
+        r.faults.gave_up_requests > 0,
+        "abandoned operations must surface at roots"
+    );
     assert_conserved(&r);
 }
