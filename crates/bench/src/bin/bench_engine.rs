@@ -1,0 +1,153 @@
+//! Event-engine throughput: the calendar-queue `EventQueue` vs the
+//! `BinaryHeap` reference on the fig7 workload, emitted as
+//! `BENCH_engine.json` so the repo carries a perf trajectory for the
+//! engine overhaul (ROADMAP open item 1).
+//!
+//! Two axes (see `um_bench::engine` for the trace construction):
+//!
+//! - **load**: the fig7 RPS axis at the committed single-server scale —
+//!   the calendar queue must not regress the runs the repo already does.
+//! - **fleet**: the 50K-RPS fig7 point fanned out to cluster-sweep fleet
+//!   sizes. The pending-event backlog grows with the fleet, the heap's
+//!   `O(log n)` cost with it; the calendar queue stays flat. This is the
+//!   scale the overhaul exists for, and where the headline speedup is
+//!   measured.
+//!
+//! Each point is replayed several times per engine; the best wall-clock
+//! per engine is reported as events/second. Delivery-stream checksums
+//! must agree between engines, so a run that diverged aborts instead of
+//! reporting a meaningless speedup.
+//!
+//! Environment:
+//!
+//! - `UM_SCALE=quick`: CI smoke mode — shorter horizon, smaller fleet,
+//!   fewer repetitions; minutes become seconds. The committed JSON comes
+//!   from the default (full) scale.
+//! - `UM_BENCH_OUT`: output path (default `BENCH_engine.json`).
+
+use std::time::Instant;
+
+use um_bench::engine::{replay, Engine, Replay, Workload, CHAIN_DEPTH, FIG7_LOADS};
+use um_sim::baseline::HeapQueue;
+use um_sim::EventQueue;
+
+struct Point {
+    axis: &'static str,
+    rps: f64,
+    servers: usize,
+    events: u64,
+    calendar_eps: f64,
+    heap_eps: f64,
+}
+
+fn best_eps<Q: Engine, F: FnMut() -> Q>(
+    mut fresh: F,
+    workload: &Workload,
+    reps: usize,
+) -> (f64, Replay) {
+    let mut best = f64::INFINITY;
+    let mut replayed = None;
+    for _ in 0..reps {
+        let mut q = fresh();
+        let start = Instant::now();
+        let r = replay(&mut q, workload);
+        let secs = start.elapsed().as_secs_f64();
+        best = best.min(secs);
+        if let Some(prev) = replayed {
+            assert_eq!(prev, r, "replays of one workload must be identical");
+        }
+        replayed = Some(r);
+    }
+    let replayed = replayed.expect("at least one repetition");
+    (replayed.events as f64 / best, replayed)
+}
+
+fn measure(axis: &'static str, rps: f64, servers: usize, horizon_us: f64, reps: usize) -> Point {
+    let workload = Workload::fig7(rps, horizon_us, servers, 42);
+    let pool = workload.arrivals.len() + 1;
+    let (calendar_eps, cal) = best_eps(|| EventQueue::with_capacity(pool), &workload, reps);
+    let (heap_eps, heap) = best_eps(HeapQueue::new, &workload, reps);
+    assert_eq!(
+        cal, heap,
+        "engines diverged at {rps} RPS x{servers}: the speedup would be meaningless"
+    );
+    eprintln!(
+        "  {axis:>5} rps={rps:>6.0} servers={servers:>3}: calendar {:>5.1} Mev/s, \
+         heap {:>5.1} Mev/s ({:.1}x)",
+        calendar_eps / 1e6,
+        heap_eps / 1e6,
+        calendar_eps / heap_eps
+    );
+    Point {
+        axis,
+        rps,
+        servers,
+        events: cal.events,
+        calendar_eps,
+        heap_eps,
+    }
+}
+
+fn main() {
+    let quick = std::env::var("UM_SCALE").is_ok_and(|s| s == "quick");
+    // Full scale matches the committed Figure 7 horizon (200 ms of
+    // arrivals); smoke mode keeps CI under a few seconds.
+    let (horizon_us, fleets, reps) = if quick {
+        (10_000.0, &[1usize, 32][..], 2)
+    } else {
+        (200_000.0, &[1usize, 32, 128, 512][..], 3)
+    };
+    let mode = if quick { "quick" } else { "full" };
+    eprintln!("bench_engine: fig7 workload, {mode} scale, horizon {horizon_us} us");
+
+    let mut points = Vec::new();
+    for rps in FIG7_LOADS {
+        points.push(measure("load", rps, 1, horizon_us, reps));
+    }
+    for &servers in fleets {
+        points.push(measure("fleet", 50_000.0, servers, horizon_us, reps));
+    }
+
+    // The headline is the largest fleet point: the cluster-sweep backlog
+    // the overhaul targets. The acceptance bar for the rewrite is 5x.
+    let headline = points.last().expect("points are non-empty");
+    let speedup = headline.calendar_eps / headline.heap_eps;
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"engine\",\n");
+    json.push_str("  \"workload\": \"fig7\",\n");
+    json.push_str(&format!("  \"scale\": \"{mode}\",\n"));
+    json.push_str(&format!("  \"horizon_us\": {horizon_us},\n"));
+    json.push_str(&format!("  \"chain_depth\": {CHAIN_DEPTH},\n"));
+    json.push_str(&format!(
+        "  \"headline\": {{\"axis\": \"fleet\", \"servers\": {}, \"speedup\": {speedup:.2}}},\n",
+        headline.servers
+    ));
+    json.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"axis\": \"{}\", \"rps\": {}, \"servers\": {}, \"events\": {}, \
+             \"calendar_events_per_sec\": {:.0}, \"heap_events_per_sec\": {:.0}, \
+             \"speedup\": {:.2}}}{}\n",
+            p.axis,
+            p.rps,
+            p.servers,
+            p.events,
+            p.calendar_eps,
+            p.heap_eps,
+            p.calendar_eps / p.heap_eps,
+            if i + 1 == points.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n");
+    json.push_str("}\n");
+
+    let out = std::env::var("UM_BENCH_OUT").unwrap_or_else(|_| "BENCH_engine.json".to_string());
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    print!("{json}");
+    eprintln!(
+        "bench_engine: wrote {out} (headline {speedup:.1}x at {} servers)",
+        headline.servers
+    );
+}

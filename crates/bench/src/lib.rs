@@ -20,6 +20,8 @@
 
 use umanycore::experiments::Scale;
 
+pub mod engine;
+
 /// Reads the run scale from `UM_SCALE`/`UM_SEED`.
 pub fn scale_from_env() -> Scale {
     scale_from_values(

@@ -573,7 +573,13 @@ impl SystemSim {
             CoherenceDomain::Global => CoherenceModel::global_small(total_cores),
         };
 
-        let mut events = EventQueue::new();
+        // Pre-size the queue's event pool for the arrival schedule below
+        // (every arrival is scheduled up front), plus headroom for the
+        // in-flight per-request events; the arena then recycles pooled
+        // nodes instead of growing during the run.
+        let expected_arrivals =
+            (cfg.rps_per_server * cfg.horizon_us / 1e6 * cfg.servers as f64).ceil() as usize;
+        let mut events = EventQueue::with_capacity(expected_arrivals + expected_arrivals / 8 + 64);
         for s in 0..cfg.servers {
             let seed = simrng::stream_indexed(cfg.seed, "server-arrivals", s as u64).gen::<u64>();
             let arrivals = match cfg.arrivals {
@@ -651,7 +657,7 @@ impl SystemSim {
             drop_p: cfg.fault_plan.drop_probability(),
             retry_budget: RetryBudget::new(cfg.mitigation.retry.map_or(0.0, |r| r.budget_fraction)),
             events,
-            requests: Vec::new(),
+            requests: Vec::with_capacity(expected_arrivals),
             servers,
             latency: Samples::new(),
             queueing: Samples::new(),

@@ -10,7 +10,10 @@
 //! - [`Cycles`]: a typed cycle count with saturating arithmetic and
 //!   wall-clock conversions at a given core frequency.
 //! - [`EventQueue`]: a monotonic future-event list with deterministic FIFO
-//!   tie-breaking, generic over the event payload type.
+//!   tie-breaking, generic over the event payload type. Implemented as an
+//!   arena-pooled hierarchical calendar queue (timing wheel + sorted
+//!   overflow level) with next-event time skipping, so the steady-state
+//!   schedule/pop loop is O(1) and allocation-free.
 //! - [`rng`]: reproducible per-component random streams split from one master
 //!   seed, so every experiment is bit-reproducible.
 //! - [`trace`]: per-request latency provenance — a span taxonomy and
@@ -43,6 +46,8 @@ pub mod sanitizer;
 mod time;
 pub mod trace;
 
+#[doc(hidden)]
+pub use queue::baseline;
 pub use queue::EventQueue;
 pub use time::{Cycles, Frequency};
 pub use trace::{Component, LatencyBreakdown, NullSink, Span, TraceSink};

@@ -77,6 +77,13 @@ impl Cycles {
         Cycles(self.0.saturating_add(rhs.0))
     }
 
+    /// Checked addition: `None` on overflow. Use where a wrapped-to-`MAX`
+    /// time must fail loudly instead of parking an event at the horizon
+    /// (e.g. [`crate::EventQueue::schedule`]).
+    pub fn checked_add(self, rhs: Cycles) -> Option<Cycles> {
+        self.0.checked_add(rhs.0).map(Cycles)
+    }
+
     /// Saturating subtraction (clamps at zero).
     pub fn saturating_sub(self, rhs: Cycles) -> Cycles {
         Cycles(self.0.saturating_sub(rhs.0))
@@ -246,6 +253,19 @@ mod tests {
     fn saturating_ops() {
         assert_eq!(Cycles::new(1).saturating_sub(Cycles::new(5)), Cycles::ZERO);
         assert_eq!(Cycles::MAX.saturating_add(Cycles::new(1)), Cycles::MAX);
+    }
+
+    #[test]
+    fn checked_add_detects_overflow() {
+        assert_eq!(
+            Cycles::new(1).checked_add(Cycles::new(2)),
+            Some(Cycles::new(3))
+        );
+        assert_eq!(
+            Cycles::new(1).checked_add(Cycles::new(u64::MAX - 1)),
+            Some(Cycles::MAX)
+        );
+        assert_eq!(Cycles::MAX.checked_add(Cycles::new(1)), None);
     }
 
     #[test]

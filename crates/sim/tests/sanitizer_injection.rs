@@ -25,6 +25,28 @@ fn out_of_order_event_is_reported() {
 }
 
 #[test]
+fn relative_schedule_overflow_is_reported() {
+    let _ = sanitizer::take();
+    let mut q = EventQueue::new();
+    q.schedule_at(Cycles::new(100), "tick");
+    q.pop();
+    // The overflowing delay must panic *and* leave a structured violation
+    // behind, mirroring the schedule-into-the-past assertion.
+    let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        q.schedule(Cycles::MAX, "beyond-the-horizon");
+    }));
+    assert!(panicked.is_err(), "overflowing delay must panic");
+    let violations = sanitizer::take();
+    assert_eq!(violations.len(), 1, "exactly one violation: {violations:?}");
+    assert_eq!(violations[0].checker, "schedule-overflow");
+    assert!(
+        violations[0].message.contains("now=100cyc"),
+        "message names the clock: {}",
+        violations[0].message
+    );
+}
+
+#[test]
 fn well_ordered_schedules_stay_clean() {
     let _ = sanitizer::take();
     let mut q = EventQueue::new();

@@ -27,6 +27,7 @@
 //! | `cycle-trunc-cast` | `as u32`/`as usize`/… on cycle/latency values | non-test code |
 //! | `cycle-float-cmp` | `==`/`!=` on float cycle/latency values | non-test code |
 //! | `raw-fault-plan` | `FaultPlan::from_events` (bypasses the seeded builder) | outside `um-sim`, non-test code |
+//! | `raw-binary-heap` | `BinaryHeap` for sim state (bypasses the pooled calendar queue) | sim-state crates outside the queue module, non-test code |
 //! | `debug-macro` | `dbg!`, `todo!`, `unimplemented!` | non-test code |
 //! | `ignore-without-reason` | bare `#[ignore]` | everywhere |
 //! | `unsafe-without-safety` | `unsafe` without a `// SAFETY:` comment | everywhere |
@@ -63,6 +64,8 @@ pub enum Rule {
     CycleFloatCmp,
     /// `FaultPlan::from_events` outside `um-sim` (bypasses seeded builder).
     RawFaultPlan,
+    /// `BinaryHeap` for sim state outside the queue module.
+    RawBinaryHeap,
     /// `dbg!` / `todo!` / `unimplemented!` in non-test code.
     DebugMacro,
     /// `#[ignore]` without a reason string.
@@ -75,13 +78,14 @@ pub enum Rule {
 
 impl Rule {
     /// All rules, for `--list-rules` and the allow-directive parser.
-    pub const ALL: [Rule; 10] = [
+    pub const ALL: [Rule; 11] = [
         Rule::UnorderedContainer,
         Rule::WallClock,
         Rule::UnseededRng,
         Rule::CycleTruncCast,
         Rule::CycleFloatCmp,
         Rule::RawFaultPlan,
+        Rule::RawBinaryHeap,
         Rule::DebugMacro,
         Rule::IgnoreWithoutReason,
         Rule::UnsafeWithoutSafety,
@@ -97,6 +101,7 @@ impl Rule {
             Rule::CycleTruncCast => "cycle-trunc-cast",
             Rule::CycleFloatCmp => "cycle-float-cmp",
             Rule::RawFaultPlan => "raw-fault-plan",
+            Rule::RawBinaryHeap => "raw-binary-heap",
             Rule::DebugMacro => "debug-macro",
             Rule::IgnoreWithoutReason => "ignore-without-reason",
             Rule::UnsafeWithoutSafety => "unsafe-without-safety",
@@ -130,6 +135,11 @@ impl Rule {
             Rule::RawFaultPlan => {
                 "FaultPlan::from_events bypasses the seeded builder; construct plans with \
                  FaultPlan::builder(seed) so sweeps stay derive_seed-reproducible"
+            }
+            Rule::RawBinaryHeap => {
+                "BinaryHeap pop order is O(log n) per event and its internal layout is not the \
+                 simulator's delivery contract; future-event state goes through um_sim::EventQueue \
+                 (the pooled calendar queue)"
             }
             Rule::DebugMacro => "dbg!/todo!/unimplemented! must not reach non-test code",
             Rule::IgnoreWithoutReason => "#[ignore] needs a reason string: #[ignore = \"why\"]",
@@ -452,6 +462,25 @@ pub fn check_source(rel_path: &str, source: &str) -> Vec<Diagnostic> {
             }
         }
 
+        // -- event-queue provenance -------------------------------------
+        // The calendar queue in crates/sim/src/queue.rs is the one place
+        // allowed to own a future-event structure (it also hosts the
+        // BinaryHeap reference baseline for differential tests).
+        if ctx.is_sim_state_crate()
+            && !in_test
+            && path != "crates/sim/src/queue.rs"
+            && contains_word(&cleaned, "BinaryHeap")
+        {
+            flag(
+                Rule::RawBinaryHeap,
+                "raw BinaryHeap for sim state: time-ordered event state must go through \
+                 um_sim::EventQueue, which owns the (time, seq) FIFO delivery contract the \
+                 determinism tests pin"
+                    .into(),
+                &mut diags,
+            );
+        }
+
         // -- fault-plan provenance --------------------------------------
         if ctx.bans_raw_fault_plan() && !in_test && contains_word(&cleaned, "from_events") {
             flag(
@@ -710,6 +739,24 @@ mod tests {
         // as is test code anywhere.
         assert!(check_source("crates/sim/src/fault.rs", src).is_empty());
         assert!(check_source("tests/t.rs", src).is_empty());
+    }
+
+    #[test]
+    fn raw_binary_heap_flagged_outside_queue_module() {
+        let src = "use std::collections::BinaryHeap;\n";
+        assert_eq!(
+            check_source("crates/core/src/x.rs", src)[0].rule,
+            Rule::RawBinaryHeap
+        );
+        assert_eq!(
+            check_source("crates/sim/src/fault.rs", src)[0].rule,
+            Rule::RawBinaryHeap
+        );
+        // The queue module owns the future-event structure (and the heap
+        // baseline); um-bench measures the baseline; tests model with it.
+        assert!(check_source("crates/sim/src/queue.rs", src).is_empty());
+        assert!(check_source("crates/bench/benches/engine.rs", src).is_empty());
+        assert!(check_source("crates/sim/tests/queue_model.rs", src).is_empty());
     }
 
     #[test]

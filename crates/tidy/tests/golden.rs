@@ -19,6 +19,7 @@ const CASES: &[(&str, &str)] = &[
     ("cycle_trunc_cast", "crates/core/src/fixture.rs"),
     ("cycle_float_cmp", "crates/stats/src/fixture.rs"),
     ("raw_fault_plan", "crates/core/src/fixture.rs"),
+    ("raw_binary_heap", "crates/core/src/fixture.rs"),
     ("debug_macro", "crates/sched/src/fixture.rs"),
     ("ignore_without_reason", "tests/fixture.rs"),
     ("unsafe_without_safety", "crates/mem/src/fixture.rs"),
