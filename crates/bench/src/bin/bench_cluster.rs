@@ -1,0 +1,147 @@
+//! Cluster-sweep throughput: simulated events/second vs rack size,
+//! emitted as `BENCH_cluster.json`.
+//!
+//! The calendar-queue engine overhaul (BENCH_engine.json) was justified
+//! by fleet-scale event backlogs; this bench closes the loop by timing
+//! the real coupled simulation — N packages behind the load balancer,
+//! JSQ(2) routing, the rack fabric with jitter — rather than a replayed
+//! trace. The interesting curve is events/second as the rack grows from
+//! 8 to 512 packages: the per-event cost should stay roughly flat,
+//! which is what makes the `cluster_tail` sweeps affordable.
+//!
+//! Each rack size is run several times; the best wall-clock is
+//! reported. Runs are deterministic, so repetitions must agree on the
+//! event count and the recorded-request count, and the bench aborts if
+//! they do not.
+//!
+//! Environment:
+//!
+//! - `UM_SCALE=quick`: CI smoke mode — tiny racks, shorter horizon.
+//!   The committed JSON comes from the default (full) scale.
+//! - `UM_BENCH_OUT`: output path (default `BENCH_cluster.json`).
+
+use std::time::Instant;
+
+use um_bench::benchjson::{obj, rounded, validate_bench, Json};
+use umanycore::experiments::cluster::{rack_config, ClusterScale};
+use umanycore::{ClusterSim, RoutingPolicy};
+
+struct Point {
+    nodes: usize,
+    events: u64,
+    recorded: u64,
+    eps: f64,
+    p99_us: f64,
+}
+
+fn measure(nodes: usize, rps_per_node: f64, horizon_us: f64, reps: usize) -> Point {
+    let scale = ClusterScale {
+        nodes,
+        loads: vec![rps_per_node],
+        horizon_us,
+        warmup_us: horizon_us / 10.0,
+        seed: 42,
+    };
+    let mut best = f64::INFINITY;
+    let mut last: Option<(u64, u64, f64)> = None;
+    for _ in 0..reps {
+        let cfg = rack_config(&scale, rps_per_node, RoutingPolicy::JsqD { d: 2 });
+        let start = Instant::now();
+        let report = ClusterSim::new(cfg).run();
+        let secs = start.elapsed().as_secs_f64();
+        best = best.min(secs);
+        let fingerprint = (report.events, report.recorded, report.latency.p99);
+        if let Some(prev) = last {
+            assert_eq!(
+                prev, fingerprint,
+                "repetitions of one rack diverged at {nodes} nodes"
+            );
+        }
+        last = Some(fingerprint);
+    }
+    let (events, recorded, p99_us) = last.expect("at least one repetition");
+    let eps = events as f64 / best;
+    eprintln!(
+        "  nodes={nodes:>4}: {:>6.2} Mev/s ({events} events, {recorded} requests, p99 {:.0} us)",
+        eps / 1e6,
+        p99_us
+    );
+    Point {
+        nodes,
+        events,
+        recorded,
+        eps,
+        p99_us,
+    }
+}
+
+fn main() {
+    let quick = std::env::var("UM_SCALE").is_ok_and(|s| s == "quick");
+    // Full scale sweeps the rack sizes the tentpole targets (64–512
+    // packages); smoke mode keeps CI to a couple of seconds.
+    let (fleets, horizon_us, rps, reps) = if quick {
+        (&[4usize, 16][..], 2_000.0, 60_000.0, 1)
+    } else {
+        (&[8usize, 32, 64, 128, 256, 512][..], 5_000.0, 60_000.0, 2)
+    };
+    let mode = if quick { "quick" } else { "full" };
+    eprintln!("bench_cluster: JSQ(2) rack sweep, {mode} scale, horizon {horizon_us} us");
+
+    let points: Vec<Point> = fleets
+        .iter()
+        .map(|&nodes| measure(nodes, rps, horizon_us, reps))
+        .collect();
+
+    // The headline is events/second at the largest rack vs the
+    // smallest: a flat curve means per-event cost does not grow with
+    // the pending-event population, which is the engine-overhaul claim
+    // applied to the real coupled simulation.
+    let first = points.first().expect("points are non-empty");
+    let headline = points.last().expect("points are non-empty");
+    let retained = headline.eps / first.eps;
+
+    let doc = obj(vec![
+        ("bench", Json::Str("cluster".into())),
+        ("workload", Json::Str("social-mix".into())),
+        ("scale", Json::Str(mode.into())),
+        ("horizon_us", Json::Num(horizon_us)),
+        ("rps_per_node", Json::Num(rps)),
+        ("routing", Json::Str("jsq(2)".into())),
+        (
+            "headline",
+            obj(vec![
+                ("nodes", Json::Num(headline.nodes as f64)),
+                ("events_per_sec", Json::Num(headline.eps.round())),
+                ("throughput_retained", Json::Num(rounded(retained, 2))),
+            ]),
+        ),
+        (
+            "points",
+            Json::Arr(
+                points
+                    .iter()
+                    .map(|p| {
+                        obj(vec![
+                            ("nodes", Json::Num(p.nodes as f64)),
+                            ("events", Json::Num(p.events as f64)),
+                            ("requests", Json::Num(p.recorded as f64)),
+                            ("events_per_sec", Json::Num(p.eps.round())),
+                            ("p99_us", Json::Num(rounded(p.p99_us, 1))),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    validate_bench(&doc).expect("bench_cluster emits the BENCH_*.json envelope");
+    let json = doc.render();
+
+    let out = std::env::var("UM_BENCH_OUT").unwrap_or_else(|_| "BENCH_cluster.json".to_string());
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    print!("{json}");
+    eprintln!(
+        "bench_cluster: wrote {out} ({:.0}% of small-rack throughput at {} nodes)",
+        retained * 100.0,
+        headline.nodes
+    );
+}

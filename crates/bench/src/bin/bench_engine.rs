@@ -27,6 +27,7 @@
 
 use std::time::Instant;
 
+use um_bench::benchjson::{obj, rounded, validate_bench, Json};
 use um_bench::engine::{replay, Engine, Replay, Workload, CHAIN_DEPTH, FIG7_LOADS};
 use um_sim::baseline::HeapQueue;
 use um_sim::EventQueue;
@@ -113,35 +114,45 @@ fn main() {
     let headline = points.last().expect("points are non-empty");
     let speedup = headline.calendar_eps / headline.heap_eps;
 
-    let mut json = String::new();
-    json.push_str("{\n");
-    json.push_str("  \"bench\": \"engine\",\n");
-    json.push_str("  \"workload\": \"fig7\",\n");
-    json.push_str(&format!("  \"scale\": \"{mode}\",\n"));
-    json.push_str(&format!("  \"horizon_us\": {horizon_us},\n"));
-    json.push_str(&format!("  \"chain_depth\": {CHAIN_DEPTH},\n"));
-    json.push_str(&format!(
-        "  \"headline\": {{\"axis\": \"fleet\", \"servers\": {}, \"speedup\": {speedup:.2}}},\n",
-        headline.servers
-    ));
-    json.push_str("  \"points\": [\n");
-    for (i, p) in points.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"axis\": \"{}\", \"rps\": {}, \"servers\": {}, \"events\": {}, \
-             \"calendar_events_per_sec\": {:.0}, \"heap_events_per_sec\": {:.0}, \
-             \"speedup\": {:.2}}}{}\n",
-            p.axis,
-            p.rps,
-            p.servers,
-            p.events,
-            p.calendar_eps,
-            p.heap_eps,
-            p.calendar_eps / p.heap_eps,
-            if i + 1 == points.len() { "" } else { "," }
-        ));
-    }
-    json.push_str("  ]\n");
-    json.push_str("}\n");
+    let doc = obj(vec![
+        ("bench", Json::Str("engine".into())),
+        ("workload", Json::Str("fig7".into())),
+        ("scale", Json::Str(mode.into())),
+        ("horizon_us", Json::Num(horizon_us)),
+        ("chain_depth", Json::Num(CHAIN_DEPTH as f64)),
+        (
+            "headline",
+            obj(vec![
+                ("axis", Json::Str("fleet".into())),
+                ("servers", Json::Num(headline.servers as f64)),
+                ("speedup", Json::Num(rounded(speedup, 2))),
+            ]),
+        ),
+        (
+            "points",
+            Json::Arr(
+                points
+                    .iter()
+                    .map(|p| {
+                        obj(vec![
+                            ("axis", Json::Str(p.axis.into())),
+                            ("rps", Json::Num(p.rps)),
+                            ("servers", Json::Num(p.servers as f64)),
+                            ("events", Json::Num(p.events as f64)),
+                            ("calendar_events_per_sec", Json::Num(p.calendar_eps.round())),
+                            ("heap_events_per_sec", Json::Num(p.heap_eps.round())),
+                            (
+                                "speedup",
+                                Json::Num(rounded(p.calendar_eps / p.heap_eps, 2)),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    validate_bench(&doc).expect("bench_engine emits the BENCH_*.json envelope");
+    let json = doc.render();
 
     let out = std::env::var("UM_BENCH_OUT").unwrap_or_else(|_| "BENCH_engine.json".to_string());
     std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));

@@ -1,0 +1,26 @@
+//! Validates `BENCH_*.json` files against the shared envelope
+//! (`um_bench::benchjson`): parseable, `bench`/`scale` present,
+//! non-empty homogeneous `points`. CI runs this over both the committed
+//! files and freshly generated ones, so the emitters and the schema
+//! cannot drift apart silently.
+//!
+//! ```text
+//! cargo run --release -p um-bench --bin bench_validate -- BENCH_engine.json
+//! ```
+
+use um_bench::benchjson::{validate_bench_str, Json};
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    assert!(
+        !paths.is_empty(),
+        "usage: bench_validate <BENCH_*.json> [more...]"
+    );
+    for path in &paths {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+        let doc = validate_bench_str(&text).unwrap_or_else(|e| panic!("{path}: {e}"));
+        let bench = doc.get("bench").and_then(Json::as_str).expect("validated");
+        let points = doc.get("points").and_then(Json::as_arr).expect("validated");
+        println!("{path}: ok (bench '{bench}', {} points)", points.len());
+    }
+}

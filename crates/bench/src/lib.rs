@@ -18,8 +18,10 @@
 //!   `--features sim-sanitizer`; a binary built without it refuses to
 //!   run rather than silently skipping the checks.
 
+use umanycore::experiments::cluster::ClusterScale;
 use umanycore::experiments::Scale;
 
+pub mod benchjson;
 pub mod engine;
 
 /// Reads the run scale from `UM_SCALE`/`UM_SEED`.
@@ -41,6 +43,32 @@ pub fn scale_from_values(scale: Option<&str>, seed: Option<&str>) -> Scale {
     let mut out = match scale {
         Some("quick") => Scale::quick(),
         _ => Scale::default(),
+    };
+    if let Some(seed) = seed {
+        out.seed = seed.parse().expect("UM_SEED must be an integer");
+    }
+    out
+}
+
+/// Reads the rack scale from `UM_SCALE`/`UM_SEED` (the cluster
+/// binaries' analogue of [`scale_from_env`]).
+pub fn cluster_scale_from_env() -> ClusterScale {
+    cluster_scale_from_values(
+        std::env::var("UM_SCALE").ok().as_deref(),
+        std::env::var("UM_SEED").ok().as_deref(),
+    )
+}
+
+/// [`cluster_scale_from_env`] with the environment values passed
+/// explicitly, for tests.
+///
+/// # Panics
+///
+/// Panics when `seed` is set but not an integer.
+pub fn cluster_scale_from_values(scale: Option<&str>, seed: Option<&str>) -> ClusterScale {
+    let mut out = match scale {
+        Some("quick") => ClusterScale::quick(),
+        _ => ClusterScale::full(),
     };
     if let Some(seed) = seed {
         out.seed = seed.parse().expect("UM_SEED must be an integer");
@@ -121,6 +149,18 @@ mod tests {
     #[should_panic(expected = "UM_SEED must be an integer")]
     fn non_integer_seed_rejected() {
         scale_from_values(None, Some("forty-two"));
+    }
+
+    #[test]
+    fn cluster_scale_parsing_mirrors_scale_parsing() {
+        assert_eq!(cluster_scale_from_values(None, None), ClusterScale::full());
+        assert_eq!(
+            cluster_scale_from_values(Some("quick"), None),
+            ClusterScale::quick()
+        );
+        let s = cluster_scale_from_values(Some("quick"), Some("9"));
+        assert_eq!(s.seed, 9);
+        assert_eq!(ClusterScale { seed: 42, ..s }, ClusterScale::quick());
     }
 
     #[test]

@@ -1,0 +1,63 @@
+//! The committed `BENCH_*.json` files must stay parseable by the shared
+//! model and keep their per-bench point schemas — regenerating on a
+//! faster machine may change the numbers, but not the shape.
+
+use um_bench::benchjson::{validate_bench_str, Json};
+
+fn committed(name: &str) -> Json {
+    let path = format!("{}/../../{name}", env!("CARGO_MANIFEST_DIR"));
+    let text =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading committed {name}: {e}"));
+    validate_bench_str(&text).unwrap_or_else(|e| panic!("{name}: {e}"))
+}
+
+fn point_keys(doc: &Json) -> Vec<String> {
+    // validate_bench_str already checked every point shares point 0's
+    // keys, so point 0 is the schema.
+    doc.get("points").and_then(Json::as_arr).expect("validated")[0]
+        .as_obj()
+        .expect("validated")
+        .iter()
+        .map(|(k, _)| k.clone())
+        .collect()
+}
+
+#[test]
+fn committed_engine_json_keeps_its_schema() {
+    let doc = committed("BENCH_engine.json");
+    assert_eq!(doc.get("bench").and_then(Json::as_str), Some("engine"));
+    assert_eq!(
+        point_keys(&doc),
+        [
+            "axis",
+            "rps",
+            "servers",
+            "events",
+            "calendar_events_per_sec",
+            "heap_events_per_sec",
+            "speedup"
+        ]
+    );
+    let headline = doc.get("headline").expect("headline");
+    assert!(headline.get("speedup").and_then(Json::as_num).is_some());
+}
+
+#[test]
+fn committed_cluster_json_keeps_its_schema() {
+    let doc = committed("BENCH_cluster.json");
+    assert_eq!(doc.get("bench").and_then(Json::as_str), Some("cluster"));
+    assert_eq!(
+        point_keys(&doc),
+        ["nodes", "events", "requests", "events_per_sec", "p99_us"]
+    );
+    // The scaling curve covers the tentpole's 64–512-node sweep.
+    let nodes: Vec<f64> = doc
+        .get("points")
+        .and_then(Json::as_arr)
+        .expect("validated")
+        .iter()
+        .map(|p| p.get("nodes").and_then(Json::as_num).expect("nodes"))
+        .collect();
+    assert!(nodes.iter().any(|&n| n >= 512.0), "sweep reaches 512 nodes");
+    assert!(nodes.windows(2).all(|w| w[0] < w[1]), "nodes are ascending");
+}

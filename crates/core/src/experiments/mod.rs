@@ -5,6 +5,7 @@
 //! (who wins, by roughly what factor, where crossovers fall) on reduced
 //! scales.
 
+pub mod cluster;
 pub mod evaluation;
 pub mod motivation;
 pub mod parallel;

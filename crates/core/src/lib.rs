@@ -49,6 +49,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cluster;
 pub mod experiments;
 pub mod params;
 pub mod qos;
@@ -57,6 +58,7 @@ pub mod request;
 pub mod system;
 pub mod workload;
 
+pub use cluster::{ClusterConfig, ClusterReport, ClusterSim, RoutingPolicy};
 pub use report::{FaultStats, RunReport};
 pub use system::{ArrivalProcess, SimConfig, SystemSim};
 pub use workload::Workload;

@@ -109,6 +109,11 @@ pub struct Request {
     /// Village the current operation's primary call attempt targeted
     /// (hedges prefer a different one).
     pub op_village: usize,
+    /// Cluster-layer correlation token for injected root requests: the
+    /// load balancer's request index. `None` for requests the package's
+    /// own arrival process generated; `Some` routes the completion into
+    /// the node's completion outbox instead of ending at the package edge.
+    pub cluster_token: Option<u64>,
 }
 
 impl Request {
@@ -144,6 +149,7 @@ impl Request {
             op_started_at: Cycles::ZERO,
             op_rpc: None,
             op_village: 0,
+            cluster_token: None,
         }
     }
 

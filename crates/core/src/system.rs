@@ -95,6 +95,10 @@ pub enum ArrivalProcess {
     /// Two-state Markov-modulated bursts with the configured long-run
     /// rate (the Figure 2 burstiness).
     Bursty,
+    /// No self-generated arrivals: an outer driver (the cluster layer's
+    /// load balancer) feeds requests in via [`SystemSim::inject_arrival`]
+    /// and steps the package with [`SystemSim::step`].
+    Injected,
 }
 
 impl Default for SimConfig {
@@ -125,9 +129,9 @@ impl Default for SimConfig {
 /// (checked for every finished request) plus, when tracing is enabled,
 /// per-component sample sets over recorded root requests.
 #[derive(Clone, Debug)]
-struct BreakdownCollector {
+pub(crate) struct BreakdownCollector {
     /// One sample set per [`Component`], indexed by [`Component::index`].
-    samples: Vec<Samples>,
+    pub(crate) samples: Vec<Samples>,
     /// Whether to collect samples (the [`SimConfig::trace`] gate).
     collect: bool,
     checked: u64,
@@ -137,7 +141,7 @@ struct BreakdownCollector {
 }
 
 impl BreakdownCollector {
-    fn new(collect: bool) -> Self {
+    pub(crate) fn new(collect: bool) -> Self {
         Self {
             samples: (0..Component::COUNT).map(|_| Samples::new()).collect(),
             collect,
@@ -150,7 +154,7 @@ impl BreakdownCollector {
 
     /// Verifies one finished request's conservation invariant: breakdown
     /// components must sum to the end-to-end lifetime, to the cycle.
-    fn check(&mut self, bd: &LatencyBreakdown, end_to_end: Cycles) {
+    pub(crate) fn check(&mut self, bd: &LatencyBreakdown, end_to_end: Cycles) {
         let total = bd.total();
         self.checked += 1;
         self.breakdown_cycles += total.raw() as u128;
@@ -167,7 +171,7 @@ impl BreakdownCollector {
 
     /// Records a recorded root request's per-component shares, in
     /// microseconds (no-op unless collecting).
-    fn record(&mut self, bd: &LatencyBreakdown, freq: um_sim::Frequency) {
+    pub(crate) fn record(&mut self, bd: &LatencyBreakdown, freq: um_sim::Frequency) {
         if !self.collect {
             return;
         }
@@ -176,7 +180,7 @@ impl BreakdownCollector {
         }
     }
 
-    fn stats(&self) -> ConservationStats {
+    pub(crate) fn stats(&self) -> ConservationStats {
         ConservationStats {
             checked: self.checked,
             max_error_cycles: self.max_error_cycles,
@@ -314,6 +318,15 @@ enum Event {
     ClientArrival {
         server: usize,
     },
+    /// A root request handed over by the cluster layer's load balancer:
+    /// delivered like a client arrival, but its completion is pushed into
+    /// the node's outbox under `token` instead of ending at the package
+    /// edge (no client-RTT charge — the rack fabric legs are the cluster
+    /// layer's to account).
+    InjectedArrival {
+        server: usize,
+        token: u64,
+    },
     Enqueue {
         req: ReqId,
     },
@@ -369,8 +382,28 @@ enum Event {
     },
 }
 
+/// A finished injected root request, reported back to the cluster layer
+/// through [`SystemSim::drain_completions`].
+#[derive(Clone, Copy, Debug)]
+pub struct NodeCompletion {
+    /// The token passed to [`SystemSim::inject_arrival`].
+    pub token: u64,
+    /// When the response cleared the package edge (last ICN egress hop
+    /// included) — the instant the rack fabric takes over.
+    pub finished_at: Cycles,
+    /// The request's full in-package breakdown; its total equals
+    /// `finished_at` minus the injection time, to the cycle.
+    pub breakdown: LatencyBreakdown,
+    /// Whether the request exhausted its RPC attempts (an error response,
+    /// not a latency sample).
+    pub gave_up: bool,
+}
+
 /// The full-system simulator. Construct with [`SystemSim::new`], run with
-/// [`SystemSim::run`].
+/// [`SystemSim::run`]; or drive it as one node of a rack — step by step,
+/// with arrivals injected by a load balancer — via
+/// [`SystemSim::next_event_time`], [`SystemSim::step`],
+/// [`SystemSim::inject_arrival`] and [`SystemSim::drain_completions`].
 pub struct SystemSim {
     cfg: SimConfig,
     events: EventQueue<Event>,
@@ -401,6 +434,8 @@ pub struct SystemSim {
     instance_boots: u64,
     faults: FaultStats,
     breakdown: BreakdownCollector,
+    /// Finished injected requests awaiting pickup by the cluster layer.
+    completions: Vec<NodeCompletion>,
 }
 
 impl SystemSim {
@@ -590,6 +625,8 @@ impl SystemSim {
                     let mut mmpp = um_workload::Mmpp::alibaba_like(cfg.rps_per_server, seed);
                     mmpp.within(cfg.horizon_us)
                 }
+                // The cluster layer injects arrivals one by one.
+                ArrivalProcess::Injected => Vec::new(),
             };
             for t in arrivals {
                 events.schedule_at(
@@ -672,6 +709,7 @@ impl SystemSim {
             instance_boots: 0,
             faults,
             breakdown: BreakdownCollector::new(cfg.trace),
+            completions: Vec::new(),
             cfg,
         }
     }
@@ -679,9 +717,56 @@ impl SystemSim {
     /// Runs the simulation to completion (all admitted requests finish)
     /// and returns the report.
     pub fn run(mut self) -> RunReport {
-        while let Some((now, event)) = self.events.pop() {
+        while self.step() {}
+        self.finish()
+    }
+
+    /// The time of the next pending event, if any. A cluster driver uses
+    /// this to interleave node steps with its own events on one global
+    /// clock.
+    pub fn next_event_time(&self) -> Option<Cycles> {
+        self.events.peek_time()
+    }
+
+    /// Hands a root request over to this package at time `at` (the instant
+    /// the rack fabric delivered it to server `server`'s NIC). The
+    /// completion surfaces in [`SystemSim::drain_completions`] under
+    /// `token` once the response clears the package edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` precedes an already-delivered event (the queue's
+    /// monotonicity contract) or `server` is out of range.
+    pub fn inject_arrival(&mut self, at: Cycles, server: usize, token: u64) {
+        assert!(server < self.cfg.servers, "injected arrival server index");
+        self.events
+            .schedule_at(at, Event::InjectedArrival { server, token });
+    }
+
+    /// Finished injected requests since the last drain, in completion
+    /// order.
+    pub fn drain_completions(&mut self) -> Vec<NodeCompletion> {
+        std::mem::take(&mut self.completions)
+    }
+
+    /// Finalizes a step-driven run: sanitizer end-of-run checks plus the
+    /// report. [`SystemSim::run`] calls this after draining the queue.
+    pub fn finish(self) -> RunReport {
+        self.into_report()
+    }
+
+    /// Delivers the next pending event. Returns `false` when the queue is
+    /// empty (the run is complete until more arrivals are injected).
+    pub fn step(&mut self) -> bool {
+        let Some((now, event)) = self.events.pop() else {
+            return false;
+        };
+        {
             match event {
-                Event::ClientArrival { server } => self.on_client_arrival(server, now),
+                Event::ClientArrival { server } => self.on_client_arrival(server, now, None),
+                Event::InjectedArrival { server, token } => {
+                    self.on_client_arrival(server, now, Some(token))
+                }
                 Event::Enqueue { req } => self.on_enqueue(req, now),
                 Event::SegmentDone { req } => self.on_segment_done(req, now),
                 Event::Unblock { req } => self.on_unblock(req, now),
@@ -717,7 +802,7 @@ impl SystemSim {
                 Event::RpcTimeout { req, gen } => self.on_rpc_timeout(req, gen, now),
             }
         }
-        self.into_report()
+        true
     }
 
     // ---- unit helpers -------------------------------------------------
@@ -786,7 +871,7 @@ impl SystemSim {
 
     // ---- event handlers ------------------------------------------------
 
-    fn on_client_arrival(&mut self, server: usize, now: Cycles) {
+    fn on_client_arrival(&mut self, server: usize, now: Cycles, cluster_token: Option<u64>) {
         let service = self.cfg.workload.sample_root(&mut self.rng);
         let village = self.pick_village(server, service, now);
         let plan = self.cfg.workload.sample_plan(service, &mut self.rng);
@@ -797,6 +882,7 @@ impl SystemSim {
             server,
             village,
         ));
+        self.requests[req].cluster_token = cluster_token;
         // Top-level NIC ingress + one hop to the village's leaf, plus the
         // enqueue operation itself.
         let nic = self.wall_cycles(params::NIC_INGRESS_US);
@@ -1678,7 +1764,16 @@ impl SystemSim {
         match self.requests[req].origin {
             Origin::Client { sent_at } => {
                 let egress = self.servers[server].icn.hop_latency();
-                let rtt = self.wall_cycles(params::CLIENT_RTT_US);
+                let token = self.requests[req].cluster_token;
+                // An injected request's client is the load balancer: the
+                // rack-fabric legs (and any client RTT beyond the rack)
+                // are charged by the cluster layer, not here.
+                let rtt_us = if token.is_some() {
+                    0.0
+                } else {
+                    params::CLIENT_RTT_US
+                };
+                let rtt = self.wall_cycles(rtt_us);
                 let bd = {
                     let r = &mut self.requests[req];
                     debug_assert_eq!(r.spawned_at, sent_at);
@@ -1687,9 +1782,17 @@ impl SystemSim {
                     r.breakdown
                 };
                 self.breakdown.check(&bd, (now + egress - sent_at) + rtt);
-                let latency_us =
-                    (now + egress - sent_at).as_micros(self.freq()) + params::CLIENT_RTT_US;
-                if self.requests[req].gave_up {
+                let latency_us = (now + egress - sent_at).as_micros(self.freq()) + rtt_us;
+                let gave_up = self.requests[req].gave_up;
+                if let Some(token) = token {
+                    self.completions.push(NodeCompletion {
+                        token,
+                        finished_at: now + egress,
+                        breakdown: bd,
+                        gave_up,
+                    });
+                }
+                if gave_up {
                     // An abandoned request's "latency" is an error
                     // response, not a service time: count it, don't
                     // sample it.

@@ -11,8 +11,8 @@ use um_sim::{Cycles, Frequency};
 
 /// Attribution of one external send from
 /// [`ExternalNetwork::send_traced`]: the shares are exhaustive,
-/// `arrival == depart + queued + serialization + propagation` (all zero
-/// for a same-server send).
+/// `arrival == depart + queued + serialization + propagation + jitter`
+/// (all zero for a same-server send).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ExternalSendTrace {
     /// When the message arrives at the destination server.
@@ -23,6 +23,11 @@ pub struct ExternalSendTrace {
     pub serialization: Cycles,
     /// One-way propagation delay charged.
     pub propagation: Cycles,
+    /// Caller-supplied per-message propagation jitter (zero for
+    /// [`ExternalNetwork::send_traced`]; the cluster fabric samples it
+    /// from its latency distribution and passes it to
+    /// [`ExternalNetwork::send_traced_jittered`]).
+    pub jitter: Cycles,
 }
 
 /// The inter-server network: per-server NIC egress queues plus a fixed
@@ -113,6 +118,29 @@ impl ExternalNetwork {
         bytes: u64,
         depart: Cycles,
     ) -> ExternalSendTrace {
+        self.send_traced_jittered(src, dst, bytes, depart, Cycles::ZERO)
+    }
+
+    /// Like [`Self::send_traced`] with an extra per-message propagation
+    /// `jitter` on top of the fixed one-way delay. The rack-fabric model
+    /// in the cluster layer samples jitter from its configured latency
+    /// distribution and threads it through here so NIC queueing still
+    /// serializes at the source; the shares stay exhaustive
+    /// (`arrival == depart + queued + serialization + propagation +
+    /// jitter`). Jitter delays propagation only — it does not hold the
+    /// source NIC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `dst` is out of range.
+    pub fn send_traced_jittered(
+        &mut self,
+        src: usize,
+        dst: usize,
+        bytes: u64,
+        depart: Cycles,
+        jitter: Cycles,
+    ) -> ExternalSendTrace {
         assert!(
             src < self.servers && dst < self.servers,
             "server out of range"
@@ -130,10 +158,11 @@ impl ExternalNetwork {
         self.queue_cycles += queued.raw();
         self.nic_free_at[src] = start + ser;
         ExternalSendTrace {
-            arrival: start + ser + self.one_way,
+            arrival: start + ser + self.one_way + jitter,
             queued,
             serialization: ser,
             propagation: self.one_way,
+            jitter,
         }
     }
 
@@ -224,6 +253,21 @@ mod tests {
         assert_eq!(tr.arrival, Cycles::new(7));
         assert_eq!(tr.queued + tr.serialization + tr.propagation, Cycles::ZERO);
         assert_eq!(n.message_count(), 0);
+    }
+
+    #[test]
+    fn jitter_extends_propagation_but_not_nic_occupancy() {
+        let mut n = ExternalNetwork::new(2, Cycles::new(100), 1.0);
+        let a = n.send_traced_jittered(0, 1, 50, Cycles::ZERO, Cycles::new(30));
+        assert_eq!(a.jitter, Cycles::new(30));
+        assert_eq!(
+            a.arrival,
+            a.queued + a.serialization + a.propagation + a.jitter
+        );
+        assert_eq!(a.arrival, Cycles::new(180));
+        // The next message queues behind serialization only, not jitter.
+        let b = n.send_traced_jittered(0, 1, 50, Cycles::ZERO, Cycles::ZERO);
+        assert_eq!(b.queued, Cycles::new(50));
     }
 
     #[test]

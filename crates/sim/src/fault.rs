@@ -217,6 +217,70 @@ impl FaultPlan {
         self.fail_slow(server, village, at).is_some()
     }
 
+    /// Whether any village of `server` has a fail-slow window active at
+    /// `at` — the cluster load balancer's node-level straggler signal
+    /// (node index = the plan's server index).
+    pub fn is_degraded_server(&self, server: usize, at: Cycles) -> bool {
+        self.events.iter().any(|e| {
+            matches!(e, FaultEvent::CoreFailSlow {
+                server: s, window, ..
+            } if *s == server && window.contains(at))
+        })
+    }
+
+    /// Projects the plan onto one fleet member: events aimed at `server`
+    /// are remapped to server 0 (the index a single-package node sees),
+    /// global [`FaultEvent::MessageDrops`] entries are kept, and
+    /// everything else is dropped. The cluster layer hands each node
+    /// `for_server(node)` so a rack-level plan splits deterministically
+    /// into per-package plans; the derived seed keeps distinct nodes'
+    /// plans distinct as plan values.
+    pub fn for_server(&self, server: usize) -> FaultPlan {
+        let events = self
+            .events
+            .iter()
+            .filter_map(|e| match *e {
+                FaultEvent::CoreFailStop {
+                    server: s,
+                    village,
+                    at,
+                } if s == server => Some(FaultEvent::CoreFailStop {
+                    server: 0,
+                    village,
+                    at,
+                }),
+                FaultEvent::CoreFailSlow {
+                    server: s,
+                    village,
+                    cores,
+                    window,
+                } if s == server => Some(FaultEvent::CoreFailSlow {
+                    server: 0,
+                    village,
+                    cores,
+                    window,
+                }),
+                FaultEvent::LinkFault {
+                    server: s,
+                    link,
+                    window,
+                } if s == server => Some(FaultEvent::LinkFault {
+                    server: 0,
+                    link,
+                    window,
+                }),
+                FaultEvent::MessageDrops { probability } => {
+                    Some(FaultEvent::MessageDrops { probability })
+                }
+                _ => None,
+            })
+            .collect();
+        FaultPlan {
+            seed: rng::derive_seed(self.seed, server as u64),
+            events,
+        }
+    }
+
     /// Fail-stop events on `server`, as `(village, at)` pairs in insertion
     /// order.
     pub fn fail_stops(&self, server: usize) -> impl Iterator<Item = (usize, Cycles)> + '_ {
@@ -489,6 +553,30 @@ mod tests {
         );
         assert_eq!(plan.link_faults(2).count(), 1);
         assert_eq!(plan.link_faults(0).count(), 0);
+    }
+
+    #[test]
+    fn server_projection_remaps_and_keeps_global_events() {
+        let plan = FaultPlan::builder(9)
+            .core_fail_stop(1, 2, Cycles::new(5))
+            .core_fail_slow(0, 1, 1, window(0, 100, 4.0))
+            .link_fault(1, 7, window(10, 20, 2.0))
+            .message_drops(0.01)
+            .build();
+        let node1 = plan.for_server(1);
+        assert_eq!(node1.len(), 3, "fail-stop + link + global drops");
+        assert_eq!(
+            node1.fail_stops(0).collect::<Vec<_>>(),
+            vec![(2, Cycles::new(5))]
+        );
+        assert_eq!(node1.link_faults(0).count(), 1);
+        assert_eq!(node1.drop_probability(), plan.drop_probability());
+        let node0 = plan.for_server(0);
+        assert!(node0.is_degraded(0, 1, Cycles::new(50)));
+        assert_ne!(node0.seed(), node1.seed(), "derived seeds stay distinct");
+        assert!(plan.is_degraded_server(0, Cycles::new(50)));
+        assert!(!plan.is_degraded_server(1, Cycles::new(50)));
+        assert!(!plan.is_degraded_server(0, Cycles::new(200)));
     }
 
     #[test]

@@ -75,11 +75,16 @@ pub enum Component {
     /// backoff, hedge delay before the winning attempt was issued, and
     /// the full wait of an operation that exhausted its attempts).
     Resilience,
+    /// Cluster-fabric time outside any single package: load-balancer
+    /// admission-queue wait plus the LB→node request leg and the node→LB
+    /// response leg of the inter-node network (NIC queueing, serialization,
+    /// propagation and jitter on the rack fabric).
+    ClusterHop,
 }
 
 impl Component {
     /// Number of components.
-    pub const COUNT: usize = 12;
+    pub const COUNT: usize = 13;
 
     /// All components, in display order.
     pub const ALL: [Component; Self::COUNT] = [
@@ -95,6 +100,7 @@ impl Component {
         Component::StorageService,
         Component::Interference,
         Component::Resilience,
+        Component::ClusterHop,
     ];
 
     /// Stable index of this component in [`Component::ALL`].
@@ -112,6 +118,7 @@ impl Component {
             Component::StorageService => 9,
             Component::Interference => 10,
             Component::Resilience => 11,
+            Component::ClusterHop => 12,
         }
     }
 
@@ -130,6 +137,7 @@ impl Component {
             Component::StorageService => "storage-service",
             Component::Interference => "interference",
             Component::Resilience => "resilience",
+            Component::ClusterHop => "cluster-hop",
         }
     }
 }

@@ -1,0 +1,268 @@
+//! Determinism of the cluster layer.
+//!
+//! The cluster simulator couples N per-node `SystemSim` instances
+//! through one load balancer, and its determinism contract mirrors the
+//! single-package one (`tests/fault_determinism.rs`): a
+//! [`ClusterConfig`] fully determines the run, so any routing policy,
+//! node count, arrival process, admission cap, autoscaling rule or
+//! fault plan must be bit-identical across repeats and across
+//! `UM_THREADS` worker-pool sizes; per-node seeds derived from the
+//! cluster seed must keep distinct nodes (and distinct cluster seeds)
+//! on distinct streams; and the latency breakdown — now including the
+//! rack-level [`Component::ClusterHop`] — must still sum to the
+//! end-to-end latency to the cycle.
+
+use proptest::prelude::*;
+use um_arch::{MachineConfig, TopologyShape};
+use um_sim::fault::{FaultPlan, FaultWindow};
+use um_sim::trace::Component;
+use um_sim::Cycles;
+use umanycore::cluster::{
+    ClusterAutoscale, ClusterConfig, ClusterNetConfig, ClusterReport, ClusterSim, RoutingPolicy,
+};
+use umanycore::experiments::parallel::map_with_threads;
+use umanycore::{ArrivalProcess, SimConfig};
+
+const HORIZON_US: f64 = 4_000.0;
+
+/// A deliberately small per-node package (16 cores) so ten proptest
+/// cases' worth of multi-node racks stay affordable in debug builds.
+fn tiny_node() -> SimConfig {
+    SimConfig {
+        machine: MachineConfig::umanycore_shaped(TopologyShape::new(2, 2, 4)),
+        ..SimConfig::default()
+    }
+}
+
+/// The routing policies the proptest sweeps, by index (proptest's
+/// vendored build has no strategy for enums).
+const ROUTINGS: [RoutingPolicy; 4] = [
+    RoutingPolicy::Random,
+    RoutingPolicy::RoundRobin,
+    RoutingPolicy::JsqD { d: 2 },
+    RoutingPolicy::CentralQueue,
+];
+
+/// The optional cluster features a proptest case toggles.
+#[derive(Clone, Copy)]
+struct Knobs {
+    /// MMPP instead of Poisson arrivals.
+    bursty: bool,
+    /// Per-node admission cap (excess queues at the load balancer).
+    cap: bool,
+    /// Straggler-aware steering around fault-degraded nodes.
+    steer: bool,
+    /// Autoscaling from half the rack with fast boots.
+    autoscale: bool,
+    /// A village fail-slow fault plan.
+    slow: bool,
+}
+
+impl Knobs {
+    /// Everything off: the plain Poisson rack.
+    const OFF: Knobs = Knobs {
+        bursty: false,
+        cap: false,
+        steer: false,
+        autoscale: false,
+        slow: false,
+    };
+}
+
+/// A small rack shaped by the proptest inputs: 1–4 nodes, ~0.65
+/// utilization per node, plus whatever `knobs` turns on.
+fn rack(nodes: usize, routing: RoutingPolicy, knobs: Knobs, seed: u64) -> ClusterConfig {
+    let Knobs {
+        bursty,
+        cap,
+        steer,
+        autoscale,
+        slow,
+    } = knobs;
+    let node = tiny_node();
+    let freq = node.machine.core.frequency;
+    let fault_plan = if slow {
+        FaultPlan::builder(seed ^ 0x5eed)
+            .fail_slow_every_village(
+                1,
+                node.machine.shape.total_villages(),
+                3,
+                FaultWindow::new(Cycles::ZERO, Cycles::from_micros(HORIZON_US, freq), 5.0),
+            )
+            .build()
+    } else {
+        FaultPlan::default()
+    };
+    ClusterConfig {
+        node,
+        nodes,
+        rps_per_node: 20_000.0,
+        arrivals: if bursty {
+            ArrivalProcess::Bursty
+        } else {
+            ArrivalProcess::Poisson
+        },
+        horizon_us: HORIZON_US,
+        warmup_us: 400.0,
+        seed,
+        routing,
+        max_in_flight: cap.then_some(24),
+        steer,
+        autoscale: autoscale.then(|| ClusterAutoscale {
+            initial_nodes: nodes.div_ceil(2),
+            hi_inflight_per_node: 8.0,
+            boot_us: 500.0,
+        }),
+        net: ClusterNetConfig::default(),
+        fault_plan,
+        ..ClusterConfig::default()
+    }
+}
+
+/// The report fields a determinism check compares, bit-exactly.
+fn fingerprint(r: &ClusterReport) -> (u64, u64, u64, u64, u64, Vec<u64>, usize, u64) {
+    (
+        r.latency.p99.to_bits(),
+        r.latency.mean.to_bits(),
+        r.cluster_hop.mean.to_bits(),
+        r.completed,
+        r.recorded,
+        r.dispatched_per_node.clone(),
+        r.peak_lb_queue,
+        r.events,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 10, // each case runs full cluster simulations at two pool sizes
+        ..ProptestConfig::default()
+    })]
+
+    /// Any rack configuration is bit-identical across repeats and
+    /// across `UM_THREADS` pool sizes, and conserves latency.
+    #[test]
+    fn cluster_runs_are_bit_identical_across_threads(
+        routing_idx in 0usize..4,
+        nodes in 1usize..5,
+        bursty in proptest::bool::ANY,
+        cap in proptest::bool::ANY,
+        steer in proptest::bool::ANY,
+        autoscale in proptest::bool::ANY,
+        slow in proptest::bool::ANY,
+        seed in 0u64..100,
+    ) {
+        let routing = ROUTINGS[routing_idx];
+        let knobs = Knobs { bursty, cap, steer, autoscale, slow };
+        let configs: Vec<ClusterConfig> = (0..2)
+            .map(|i| rack(nodes, routing, knobs, seed + i))
+            .collect();
+        let serial = map_with_threads(1, configs.clone(), |_, cfg| ClusterSim::new(cfg).run());
+        let pooled = map_with_threads(4, configs, |_, cfg| ClusterSim::new(cfg).run());
+        for (a, b) in serial.iter().zip(&pooled) {
+            prop_assert_eq!(fingerprint(a), fingerprint(b));
+        }
+        for r in &serial {
+            prop_assert!(r.recorded > 0, "rack recorded nothing");
+            prop_assert!(r.conservation.exact(), "conservation: {:?}", r.conservation);
+        }
+    }
+
+    /// Different cluster seeds give different runs: the seed feeds the
+    /// arrival stream, the routing stream and every node's derived
+    /// seed, so no configuration collapses the seed space.
+    #[test]
+    fn cluster_seeds_are_injective(seed_a in 0u64..1_000, offset in 1u64..1_000) {
+        let build = |seed: u64| {
+            ClusterSim::new(rack(3, RoutingPolicy::JsqD { d: 2 }, Knobs::OFF, seed)).run()
+        };
+        let a = build(seed_a);
+        let b = build(seed_a + offset);
+        prop_assert_eq!(fingerprint(&a), fingerprint(&build(seed_a)));
+        prop_assert_ne!(a.latency.p99.to_bits(), b.latency.p99.to_bits());
+    }
+
+    /// Per-node seeds derived from one cluster seed are injective
+    /// across node counts: sibling nodes run distinct streams, and
+    /// adding a node reshuffles the whole fleet rather than replaying
+    /// the smaller rack with an idle spare.
+    #[test]
+    fn node_seeds_are_injective_across_node_counts(
+        nodes in 2usize..5,
+        seed in 0u64..1_000,
+    ) {
+        let build =
+            |n: usize| ClusterSim::new(rack(n, RoutingPolicy::RoundRobin, Knobs::OFF, seed)).run();
+        let small = build(nodes);
+        let grown = build(nodes + 1);
+        let p99 = |r: &ClusterReport, i: usize| r.node_reports[i].latency.p99.to_bits();
+        for i in 1..nodes {
+            // Distinct derived seeds: sibling nodes never replay each
+            // other's streams.
+            prop_assert_ne!(p99(&small, 0), p99(&small, i));
+        }
+        prop_assert_ne!(small.latency.p99.to_bits(), grown.latency.p99.to_bits());
+    }
+}
+
+/// Latency conservation through the cluster hop: with tracing on, the
+/// fleet breakdown gains the [`Component::ClusterHop`] component, every
+/// request's components still sum to its end-to-end latency to the
+/// cycle, and the per-component means add up to the fleet mean.
+#[test]
+fn cluster_breakdown_conserves_latency_with_the_hop_component() {
+    let mut cfg = rack(
+        3,
+        RoutingPolicy::JsqD { d: 2 },
+        Knobs {
+            cap: true,
+            ..Knobs::OFF
+        },
+        42,
+    );
+    cfg.net.jitter_us = Some(um_workload::ServiceTimeDist::lognormal_with_mean(0.5, 4.0));
+    cfg.trace = true;
+    let r = ClusterSim::new(cfg).run();
+    assert!(r.recorded > 0);
+    assert!(
+        r.conservation.exact(),
+        "cycle-exact conservation: {:?}",
+        r.conservation
+    );
+    let bd = r.breakdown.expect("trace on");
+    assert!(
+        bd.component(Component::ClusterHop).mean > 0.0,
+        "rack fabric time lands in the cluster-hop component"
+    );
+    let total = bd.mean_total_us();
+    assert!(
+        (total - r.latency.mean).abs() < 1e-6 * r.latency.mean.max(1.0),
+        "component means sum to the fleet mean: {total} vs {}",
+        r.latency.mean
+    );
+}
+
+/// A fixed-scenario anchor: the acceptance configuration (a JSQ(2)
+/// rack with steering and a fail-slow plan) is bit-identical across
+/// `UM_THREADS` 1 and 4.
+#[test]
+fn acceptance_rack_is_thread_invariant() {
+    let cfg = rack(
+        4,
+        RoutingPolicy::JsqD { d: 2 },
+        Knobs {
+            bursty: true,
+            cap: true,
+            steer: true,
+            autoscale: false,
+            slow: true,
+        },
+        7,
+    );
+    let a = ClusterSim::new(cfg.clone()).run();
+    let b = map_with_threads(4, vec![cfg], |_, c| ClusterSim::new(c).run())
+        .pop()
+        .expect("one report");
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+    assert!(a.recorded > 0);
+}

@@ -8,9 +8,22 @@
 //! queue, dispatch, handler — so agreement validates the whole pipeline,
 //! not a shortcut model. Each oracle is checked at `UM_THREADS = 1` and
 //! `4` via the sweep runner, which must be bit-identical.
+//!
+//! The cluster layer has its own closed forms, checked the same way on
+//! racks of single-core nodes behind the load balancer:
+//!
+//! - **random routing** splits the Poisson fleet stream into k
+//!   independent Poisson streams, so each node is M/M/1 at the same
+//!   rho and the fleet mean is the M/M/1 sojourn;
+//! - **central queue + admission cap 1** holds every waiting request at
+//!   the load balancer and dispatches to the first idle node: textbook
+//!   M/M/k, Erlang-C delay;
+//! - **JSQ(2)** must land between those two, above its mean-field
+//!   (large-k) limit.
 
+use umanycore::cluster::{ClusterConfig, ClusterNetConfig, ClusterReport, ClusterSim};
 use umanycore::experiments::parallel::map_with_threads;
-use umanycore::{RunReport, SimConfig, SystemSim, Workload};
+use umanycore::{RoutingPolicy, RunReport, SimConfig, SystemSim, Workload};
 
 use um_arch::config::{MachineConfig, TopologyShape};
 use um_workload::{ServiceGraph, ServiceId, ServiceProfile, ServiceTimeDist};
@@ -166,6 +179,139 @@ fn md1_mean_latency_matches_closed_form() {
         mean_over(&reports, |r| r.queueing.mean),
         wq,
         "M/D/1 mean queue wait",
+    );
+}
+
+/// A k-node rack of single-core oracle nodes with a near-transparent
+/// fabric (10 ns one-way, no jitter), so cluster latencies are the
+/// queueing model's plus sub-microsecond constants.
+fn cluster_oracle_config(nodes: usize, routing: RoutingPolicy, seed: u64) -> ClusterConfig {
+    let lambda_per_us = RHO / MEAN_SERVICE_US;
+    ClusterConfig {
+        node: SimConfig {
+            machine: MachineConfig::umanycore_shaped(TopologyShape::new(1, 1, 1)),
+            workload: single_service(ServiceTimeDist::exponential(MEAN_SERVICE_US)),
+            ..SimConfig::default()
+        },
+        nodes,
+        rps_per_node: lambda_per_us * 1e6,
+        horizon_us: 4_000_000.0,
+        warmup_us: 400_000.0,
+        seed,
+        routing,
+        net: ClusterNetConfig {
+            one_way_us: 0.01,
+            jitter_us: None,
+            ..ClusterNetConfig::default()
+        },
+        ..ClusterConfig::default()
+    }
+}
+
+/// Runs one cluster oracle scenario as a 3-seed sweep at `UM_THREADS`
+/// 1 and 4, asserts bit-identity between the pools, and returns the
+/// sweep's reports.
+fn run_cluster_both_thread_counts(cfg: ClusterConfig) -> Vec<ClusterReport> {
+    let sweep: Vec<ClusterConfig> = (0..3)
+        .map(|i| ClusterConfig {
+            seed: cfg.seed + i,
+            ..cfg.clone()
+        })
+        .collect();
+    let run = |_, c: ClusterConfig| ClusterSim::new(c).run();
+    let serial = map_with_threads(1, sweep.clone(), run);
+    let pooled = map_with_threads(4, sweep, run);
+    for (s, p) in serial.iter().zip(&pooled) {
+        assert_eq!(
+            s.latency.mean.to_bits(),
+            p.latency.mean.to_bits(),
+            "UM_THREADS must not change cluster results"
+        );
+        assert_eq!(s.cluster_hop.mean.to_bits(), p.cluster_hop.mean.to_bits());
+        assert_eq!(s.completed, p.completed);
+    }
+    for r in &serial {
+        assert!(r.recorded > 3_000, "enough samples for a stable mean");
+        assert!(r.conservation.exact(), "{:?}", r.conservation);
+    }
+    serial
+}
+
+fn cluster_mean(reports: &[ClusterReport]) -> f64 {
+    reports.iter().map(|r| r.latency.mean).sum::<f64>() / reports.len() as f64
+}
+
+/// Erlang-C: the probability an M/M/k arrival waits, via the Erlang-B
+/// recurrence `B(0) = 1, B(j) = a B(j-1) / (j + a B(j-1))`.
+fn erlang_c(k: usize, a: f64) -> f64 {
+    let mut b = 1.0;
+    for j in 1..=k {
+        b = a * b / (j as f64 + a * b);
+    }
+    k as f64 * b / (k as f64 - a * (1.0 - b))
+}
+
+#[test]
+fn random_routing_splits_into_independent_mm1_nodes() {
+    let reports =
+        run_cluster_both_thread_counts(cluster_oracle_config(4, RoutingPolicy::Random, 104));
+    // Thinning a Poisson stream uniformly over k nodes leaves k Poisson
+    // streams at rho = 0.7 each: the fleet mean is the M/M/1 sojourn.
+    let w = MEAN_SERVICE_US / (1.0 - RHO);
+    assert_close(cluster_mean(&reports), w, "random-routing fleet mean");
+}
+
+#[test]
+fn central_queue_with_unit_admission_is_mmk() {
+    let k = 4;
+    let reports = run_cluster_both_thread_counts(ClusterConfig {
+        max_in_flight: Some(1),
+        ..cluster_oracle_config(k, RoutingPolicy::CentralQueue, 105)
+    });
+    // M/M/k, a = k rho erlangs: W = E[S] + C(k, a) E[S] / (k - a).
+    let a = k as f64 * RHO;
+    let wq = erlang_c(k, a) * MEAN_SERVICE_US / (k as f64 - a);
+    let w = MEAN_SERVICE_US + wq;
+    assert_close(cluster_mean(&reports), w, "M/M/4 fleet mean");
+    // The wait happens at the load balancer, so it must be charged to
+    // the cluster-hop component, not hidden inside the nodes.
+    let hop = reports.iter().map(|r| r.cluster_hop.mean).sum::<f64>() / reports.len() as f64;
+    assert_close(hop, wq, "M/M/4 cluster-hop (LB wait) mean");
+}
+
+#[test]
+fn jsq2_lands_between_the_split_and_the_shared_queue() {
+    let k = 8;
+    let jsq = cluster_mean(&run_cluster_both_thread_counts(cluster_oracle_config(
+        k,
+        RoutingPolicy::JsqD { d: 2 },
+        106,
+    )));
+    // Mean-field JSQ(d) with exponential service: the fraction of
+    // servers holding >= i jobs is rho^((d^i - 1)/(d - 1)), so the mean
+    // sojourn is E[S]/rho * sum_i rho^(2^i - 1) for d = 2. The limit is
+    // exact as k -> infinity and a lower bound at finite k.
+    let mut jobs = 0.0;
+    let mut exponent = 1.0;
+    for _ in 0..40 {
+        jobs += RHO.powf(exponent);
+        exponent = 2.0 * exponent + 1.0;
+    }
+    let mean_field = MEAN_SERVICE_US / RHO * jobs;
+    let mm1 = MEAN_SERVICE_US / (1.0 - RHO);
+    let a = k as f64 * RHO;
+    let mmk = MEAN_SERVICE_US + erlang_c(k, a) * MEAN_SERVICE_US / (k as f64 - a);
+    assert!(
+        jsq > mean_field * (1.0 - TOLERANCE),
+        "JSQ(2) fleet mean {jsq:.1} us below its mean-field limit {mean_field:.1} us"
+    );
+    assert!(
+        jsq < mm1 * (1.0 + TOLERANCE),
+        "JSQ(2) fleet mean {jsq:.1} us above the random-split M/M/1 mean {mm1:.1} us"
+    );
+    assert!(
+        jsq > mmk * (1.0 - TOLERANCE),
+        "JSQ(2) fleet mean {jsq:.1} us below the shared-queue M/M/{k} mean {mmk:.1} us"
     );
 }
 
