@@ -1,0 +1,131 @@
+//! Lint-gate throughput: `um-tidy`'s full workspace pass (lex + rules +
+//! cross-file analysis) timed at several scanner-thread counts, emitted
+//! as `BENCH_tidy.json` so lint speed joins the engine/cluster perf
+//! trajectory. The pass runs first in CI on every push; if the v2 lexer
+//! ever makes it slow, this file is where the regression shows up.
+//!
+//! One axis — **threads**: the deterministic worker-pool size. Every
+//! point re-scans the same tree; reports must be byte-identical at every
+//! thread count (the scan's whole design), so a run that diverged aborts
+//! instead of reporting a meaningless rate.
+//!
+//! Each point is repeated several times; the best wall-clock is reported
+//! as lines/second of Rust source linted.
+//!
+//! Environment:
+//!
+//! - `UM_SCALE=quick`: CI smoke mode — fewer repetitions.
+//! - `UM_BENCH_OUT`: output path (default `BENCH_tidy.json`).
+
+use std::path::Path;
+use std::time::Instant;
+
+use um_bench::benchjson::{obj, rounded, validate_bench, Json};
+
+const THREAD_AXIS: [usize; 4] = [1, 2, 4, 8];
+
+struct Point {
+    threads: usize,
+    files: usize,
+    lines: usize,
+    lines_per_sec: f64,
+}
+
+fn main() {
+    let quick = std::env::var("UM_SCALE").is_ok_and(|s| s == "quick");
+    let reps = if quick { 2 } else { 5 };
+    let mode = if quick { "quick" } else { "full" };
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    eprintln!("bench_tidy: workspace lint pass, {mode} scale, {reps} reps");
+
+    let reference = um_tidy::workspace_report(&root, 1).expect("workspace scan");
+    assert!(
+        reference.diagnostics.is_empty(),
+        "the tree under benchmark must be lint-clean"
+    );
+    let reference_json = um_tidy::render_json(&reference);
+
+    let mut points = Vec::new();
+    for threads in THREAD_AXIS {
+        let mut best = f64::INFINITY;
+        let mut report = None;
+        for _ in 0..reps {
+            let start = Instant::now();
+            let r = um_tidy::workspace_report(&root, threads).expect("workspace scan");
+            let secs = start.elapsed().as_secs_f64();
+            best = best.min(secs);
+            report = Some(r);
+        }
+        let report = report.expect("at least one repetition");
+        assert_eq!(
+            um_tidy::render_json(&report),
+            reference_json,
+            "jobs={threads} changed the report: the rate would be meaningless"
+        );
+        let lines_per_sec = report.lines as f64 / best;
+        eprintln!(
+            "  threads={threads}: {} files, {} lines, {:.2} Mlines/s",
+            report.files,
+            report.lines,
+            lines_per_sec / 1e6
+        );
+        points.push(Point {
+            threads,
+            files: report.files,
+            lines: report.lines,
+            lines_per_sec,
+        });
+    }
+
+    // The headline is the parallel speedup at the widest pool: the axis
+    // the deterministic scanner exists for.
+    let serial = points[0].lines_per_sec;
+    let widest = points.last().expect("points are non-empty");
+    let speedup = widest.lines_per_sec / serial;
+
+    let doc = obj(vec![
+        ("bench", Json::Str("tidy".into())),
+        ("scale", Json::Str(mode.into())),
+        ("rules", Json::Num(um_tidy::Rule::COUNT as f64)),
+        ("debt", Json::Num(reference.total_debt() as f64)),
+        (
+            "headline",
+            obj(vec![
+                ("threads", Json::Num(widest.threads as f64)),
+                ("lines_per_sec", Json::Num(widest.lines_per_sec.round())),
+                ("speedup", Json::Num(rounded(speedup, 2))),
+            ]),
+        ),
+        (
+            "points",
+            Json::Arr(
+                points
+                    .iter()
+                    .map(|p| {
+                        obj(vec![
+                            ("threads", Json::Num(p.threads as f64)),
+                            ("files", Json::Num(p.files as f64)),
+                            ("lines", Json::Num(p.lines as f64)),
+                            ("lines_per_sec", Json::Num(p.lines_per_sec.round())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    validate_bench(&doc).expect("bench_tidy emits the BENCH_*.json envelope");
+    let json = doc.render();
+
+    let out = std::env::var("UM_BENCH_OUT").unwrap_or_else(|_| "BENCH_tidy.json".to_string());
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    print!("{json}");
+    eprintln!(
+        "bench_tidy: wrote {out} (headline {:.2} Mlines/s at {} threads)",
+        widest.lines_per_sec / 1e6,
+        widest.threads
+    );
+}

@@ -4,23 +4,95 @@
 //! files and freshly generated ones, so the emitters and the schema
 //! cannot drift apart silently.
 //!
+//! `--tidy <file>` switches to the `um-tidy --json` report shape instead:
+//! the document must parse, round-trip byte-exactly through the
+//! benchjson renderer (the report's contract with this document model),
+//! and carry the report fields (`tool`, `rules`, `violations`, `debt`,
+//! `total_debt`).
+//!
 //! ```text
 //! cargo run --release -p um-bench --bin bench_validate -- BENCH_engine.json
+//! cargo run --release -p um-bench --bin bench_validate -- --tidy /tmp/tidy.json
 //! ```
 
 use um_bench::benchjson::{validate_bench_str, Json};
 
-fn main() {
-    let paths: Vec<String> = std::env::args().skip(1).collect();
-    assert!(
-        !paths.is_empty(),
-        "usage: bench_validate <BENCH_*.json> [more...]"
+fn validate_tidy(path: &str, text: &str) {
+    let doc = Json::parse(text).unwrap_or_else(|e| panic!("{path}: {e}"));
+    assert_eq!(
+        doc.render(),
+        text,
+        "{path}: um-tidy --json must round-trip byte-exactly through benchjson"
     );
-    for path in &paths {
+    let tool = doc.get("tool").and_then(Json::as_str);
+    assert_eq!(tool, Some("um-tidy"), "{path}: `tool` must be \"um-tidy\"");
+    let rules = doc
+        .get("rules")
+        .and_then(Json::as_num)
+        .unwrap_or_else(|| panic!("{path}: missing numeric `rules`"));
+    let violations = doc
+        .get("violations")
+        .and_then(Json::as_arr)
+        .unwrap_or_else(|| panic!("{path}: missing `violations` array"));
+    let count = doc
+        .get("violation_count")
+        .and_then(Json::as_num)
+        .unwrap_or_else(|| panic!("{path}: missing numeric `violation_count`"));
+    assert_eq!(
+        violations.len() as f64,
+        count,
+        "{path}: `violation_count` disagrees with `violations`"
+    );
+    let debt = doc
+        .get("debt")
+        .and_then(Json::as_obj)
+        .unwrap_or_else(|| panic!("{path}: missing `debt` object"));
+    assert_eq!(
+        debt.len() as f64,
+        rules,
+        "{path}: `debt` must carry one entry per rule"
+    );
+    let ledger_total: f64 = debt.iter().filter_map(|(_, v)| v.as_num()).sum();
+    let total = doc
+        .get("total_debt")
+        .and_then(Json::as_num)
+        .unwrap_or_else(|| panic!("{path}: missing numeric `total_debt`"));
+    assert_eq!(
+        ledger_total, total,
+        "{path}: `total_debt` disagrees with the per-rule `debt` entries"
+    );
+    println!(
+        "{path}: ok (um-tidy report, {} rules, {} violations, debt {total})",
+        rules,
+        violations.len()
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    assert!(
+        !args.is_empty(),
+        "usage: bench_validate [--tidy] <file.json> [more...] (--tidy applies per following file)"
+    );
+    let mut tidy_mode = false;
+    let mut validated = 0usize;
+    for arg in &args {
+        if arg == "--tidy" {
+            tidy_mode = true;
+            continue;
+        }
+        let path = arg;
         let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
-        let doc = validate_bench_str(&text).unwrap_or_else(|e| panic!("{path}: {e}"));
-        let bench = doc.get("bench").and_then(Json::as_str).expect("validated");
-        let points = doc.get("points").and_then(Json::as_arr).expect("validated");
-        println!("{path}: ok (bench '{bench}', {} points)", points.len());
+        if tidy_mode {
+            validate_tidy(path, &text);
+            tidy_mode = false;
+        } else {
+            let doc = validate_bench_str(&text).unwrap_or_else(|e| panic!("{path}: {e}"));
+            let bench = doc.get("bench").and_then(Json::as_str).expect("validated");
+            let points = doc.get("points").and_then(Json::as_arr).expect("validated");
+            println!("{path}: ok (bench '{bench}', {} points)", points.len());
+        }
+        validated += 1;
     }
+    assert!(validated > 0, "no files validated");
 }

@@ -1,0 +1,79 @@
+//! Pins `um-tidy --json`'s contract with `um_bench::benchjson`: the lint
+//! gate is zero-dependency, so it carries its own tiny JSON emitter —
+//! these tests are what keep that emitter byte-compatible with the
+//! benchjson document model the committed `BENCH_*.json` files use.
+
+use std::path::Path;
+
+use um_bench::benchjson::{validate_bench_str, Json};
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+}
+
+/// The live tree's report must round-trip byte-exactly: benchjson's
+/// parse-then-render is the identity on um-tidy's output.
+#[test]
+fn live_report_roundtrips_through_benchjson() {
+    let report = um_tidy::workspace_report(workspace_root(), 2).expect("workspace scan");
+    let rendered = um_tidy::render_json(&report);
+    let doc = Json::parse(&rendered).expect("um-tidy --json must parse as benchjson");
+    assert_eq!(
+        doc.render(),
+        rendered,
+        "um-tidy's emitter drifted from benchjson's renderer"
+    );
+    assert_eq!(doc.get("tool").and_then(Json::as_str), Some("um-tidy"));
+    assert_eq!(
+        doc.get("rules").and_then(Json::as_num),
+        Some(um_tidy::Rule::COUNT as f64)
+    );
+}
+
+/// Same round-trip with diagnostics present, exercising the string
+/// escaping path (rule messages embed quoted stream tags).
+#[test]
+fn violating_report_roundtrips_through_benchjson() {
+    let files = vec![
+        (
+            "crates/net/src/a.rs".to_string(),
+            "pub fn mk(seed: u64) { let _r = rng::stream(seed, \"tab\\thop\"); }\n".to_string(),
+        ),
+        (
+            "crates/sched/src/b.rs".to_string(),
+            "pub fn mk(seed: u64) { let _r = rng::stream(seed, \"tab\\thop\"); }\n".to_string(),
+        ),
+    ];
+    let report = um_tidy::check_files(&files);
+    assert!(
+        !report.diagnostics.is_empty(),
+        "fixture must produce diagnostics"
+    );
+    let rendered = um_tidy::render_json(&report);
+    let doc = Json::parse(&rendered).expect("report with violations must parse");
+    assert_eq!(doc.render(), rendered);
+    let violations = doc.get("violations").and_then(Json::as_arr).expect("array");
+    assert_eq!(violations.len(), report.diagnostics.len());
+}
+
+/// The committed lint-throughput trajectory must satisfy the shared
+/// `BENCH_*.json` envelope, like every other committed bench file.
+#[test]
+fn committed_bench_tidy_is_a_valid_envelope() {
+    let path = workspace_root().join("BENCH_tidy.json");
+    let text = std::fs::read_to_string(&path).expect("BENCH_tidy.json must be committed");
+    let doc = validate_bench_str(&text).expect("BENCH_tidy.json must validate");
+    assert_eq!(doc.get("bench").and_then(Json::as_str), Some("tidy"));
+    assert_eq!(doc.get("scale").and_then(Json::as_str), Some("full"));
+    let points = doc.get("points").and_then(Json::as_arr).expect("points");
+    assert!(
+        points.iter().all(|p| p
+            .get("lines_per_sec")
+            .and_then(Json::as_num)
+            .is_some_and(|v| v > 0.0)),
+        "every point carries a positive lines/sec rate"
+    );
+}

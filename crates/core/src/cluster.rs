@@ -222,7 +222,7 @@ impl ClusterReport {
         if self.node_reports.is_empty() {
             return 0.0;
         }
-        self.node_reports.iter().map(|r| r.utilization).sum::<f64>()
+        self.node_reports.iter().map(|r| r.utilization).sum::<f64>() // um-tidy: allow(float-accumulation) -- report-only mean over the fixed-order node vector
             / self.node_reports.len() as f64
     }
 }

@@ -379,10 +379,10 @@ pub fn fig8_rows(seed: u64, pairs: usize) -> Fig8Rows {
         hi.push(FootprintGenerator::sharing(&a, &init));
     }
     let mean = |v: &[SharingReport]| SharingReport {
-        d_page: v.iter().map(|s| s.d_page).sum::<f64>() / v.len() as f64,
-        d_line: v.iter().map(|s| s.d_line).sum::<f64>() / v.len() as f64,
-        i_page: v.iter().map(|s| s.i_page).sum::<f64>() / v.len() as f64,
-        i_line: v.iter().map(|s| s.i_line).sum::<f64>() / v.len() as f64,
+        d_page: v.iter().map(|s| s.d_page).sum::<f64>() / v.len() as f64, // um-tidy: allow(float-accumulation) -- serial mean over a fixed-order sample vector
+        d_line: v.iter().map(|s| s.d_line).sum::<f64>() / v.len() as f64, // um-tidy: allow(float-accumulation) -- serial mean over a fixed-order sample vector
+        i_page: v.iter().map(|s| s.i_page).sum::<f64>() / v.len() as f64, // um-tidy: allow(float-accumulation) -- serial mean over a fixed-order sample vector
+        i_line: v.iter().map(|s| s.i_line).sum::<f64>() / v.len() as f64, // um-tidy: allow(float-accumulation) -- serial mean over a fixed-order sample vector
     };
     Fig8Rows {
         handler_handler: mean(&hh),

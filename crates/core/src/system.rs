@@ -1141,7 +1141,7 @@ impl SystemSim {
             requests[req].plan.segments[requests[req].next_segment..]
                 .iter()
                 .map(|s| s.compute_us)
-                .sum::<f64>() as u64
+                .sum::<f64>() as u64 // um-tidy: allow(float-accumulation) -- serial fold over one request's fixed segment order
         };
         let srv = &mut self.servers[server];
         match &mut srv.villages[village].queue {

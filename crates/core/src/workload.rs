@@ -140,9 +140,9 @@ impl Workload {
                         apps.expand_tree(*root, rng)
                             .iter()
                             .map(|p| p.compute_us())
-                            .sum::<f64>()
+                            .sum::<f64>() // um-tidy: allow(float-accumulation) -- serial fold over one expanded tree, fixed traversal order
                     })
-                    .sum::<f64>()
+                    .sum::<f64>() // um-tidy: allow(float-accumulation) -- serial Monte-Carlo mean with a fixed trial order
                     / n as f64
             }
             Workload::SocialMix { apps } => {
@@ -153,7 +153,7 @@ impl Workload {
                             .expand_tree(root, rng)
                             .iter()
                             .map(|p| p.compute_us())
-                            .sum::<f64>();
+                            .sum::<f64>(); // um-tidy: allow(float-accumulation) -- serial Monte-Carlo mean with a fixed trial order
                     }
                 }
                 total / (8.0 * 100.0)
@@ -172,7 +172,7 @@ impl Workload {
                             .expand_tree(r0, rng)
                             .iter()
                             .map(|p| p.compute_us())
-                            .sum::<f64>();
+                            .sum::<f64>(); // um-tidy: allow(float-accumulation) -- serial Monte-Carlo mean with a fixed trial order
                     }
                 }
                 total / (roots.len() * n) as f64

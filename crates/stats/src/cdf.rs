@@ -38,7 +38,7 @@ impl Cdf {
             sorted.iter().all(|v| !v.is_nan()),
             "NaN sample in CDF input"
         );
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN checked above"));
+        sorted.sort_by(f64::total_cmp);
         Self { sorted }
     }
 

@@ -157,14 +157,14 @@ impl Samples {
             return Cow::Borrowed(&self.sorted);
         }
         let mut v = self.values.clone();
-        v.sort_by(|a, b| a.partial_cmp(b).expect("NaN rejected at record time"));
+        v.sort_by(f64::total_cmp);
         Cow::Owned(v)
     }
 
     /// Freezes the sorted cache; subsequent percentile queries are O(1) sorts.
     pub fn freeze(&mut self) {
         let mut v = self.values.clone();
-        v.sort_by(|a, b| a.partial_cmp(b).expect("NaN rejected at record time"));
+        v.sort_by(f64::total_cmp);
         self.sorted = v;
     }
 }

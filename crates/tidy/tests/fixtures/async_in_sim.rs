@@ -1,0 +1,11 @@
+//! Fixture: async constructs inside the std-only sim core.
+
+/// Executor scheduling is nondeterministic: fires.
+pub async fn poll_links() -> u32 {
+    0
+}
+
+/// Names that merely contain the word are fine: must not fire.
+pub fn asynchrony_budget() -> u32 {
+    1
+}

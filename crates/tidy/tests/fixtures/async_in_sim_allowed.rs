@@ -1,0 +1,7 @@
+//! Fixture: a justified async shim.
+
+/// Suppressed with a reason: counted as debt, no diagnostic.
+// um-tidy: allow(async-in-sim) -- compatibility shim; never awaited inside the kernel
+pub async fn poll_links() -> u32 {
+    0
+}

@@ -1,0 +1,7 @@
+/*
+ * Design notes spanning lines: a HashMap would reorder events here,
+ * Instant::now() timing belongs in um-bench, and thread_rng would
+ * unseed the run. None of this is code.
+ */
+/* nesting works too: /* inner HashMap mention */ still a comment */
+pub fn nothing() {}

@@ -1,0 +1,12 @@
+//! Fixture: ambient environment reads inside the sim core.
+
+/// Results now depend on process state, not the seed: fires.
+pub fn quantum_us() -> u64 {
+    match std::env::var("UM_QUANTUM_US") {
+        Ok(v) => v.parse().unwrap_or(250),
+        Err(_) => 250,
+    }
+}
+
+/// Mentioning the variable name in a string is fine: must not fire.
+pub const QUANTUM_ENV: &str = "UM_QUANTUM_US";

@@ -1,0 +1,10 @@
+//! Fixture: a justified environment read.
+
+/// Suppressed with a reason: counted as debt, no diagnostic.
+pub fn quantum_us() -> u64 {
+    // um-tidy: allow(env-read) -- knob only scales a report axis; merge is order-fixed
+    match std::env::var("UM_QUANTUM_US") {
+        Ok(v) => v.parse().unwrap_or(250),
+        Err(_) => 250,
+    }
+}

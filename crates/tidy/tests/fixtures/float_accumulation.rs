@@ -1,0 +1,20 @@
+//! Fixture: order-dependent float reductions in sim-state code.
+
+/// A serial mean written as an iterator fold: fires.
+pub fn mean_service_us(samples: &[f64]) -> f64 {
+    samples.iter().sum::<f64>() / samples.len() as f64
+}
+
+/// An in-place float accumulator: fires.
+pub fn total_weight(weights: &[u32]) -> f64 {
+    let mut acc = 0.0;
+    for w in weights {
+        acc += *w as f64;
+    }
+    acc
+}
+
+/// Integer folds are exact under any order: must not fire.
+pub fn total_events(counts: &[u64]) -> u64 {
+    counts.iter().sum()
+}

@@ -1,0 +1,16 @@
+//! Fixture: the same reductions justified with allow directives.
+
+/// Documented serial fold: suppressed, counted as debt.
+pub fn mean_service_us(samples: &[f64]) -> f64 {
+    samples.iter().sum::<f64>() / samples.len() as f64 // um-tidy: allow(float-accumulation) -- serial mean over a fixed-order sample slice
+}
+
+/// Same for the in-place accumulator.
+pub fn total_weight(weights: &[u32]) -> f64 {
+    let mut acc = 0.0;
+    for w in weights {
+        // um-tidy: allow(float-accumulation) -- fixed iteration order, report-only total
+        acc += *w as f64;
+    }
+    acc
+}

@@ -1,0 +1,8 @@
+//! Lifetimes and char literals coexist without confusing the lexer.
+pub fn classify<'a>(keys: &'a [char]) -> &'a [char] {
+    let _fallback = 'k';
+    let _quote = '"';
+    let _newline = '\n';
+    let _unicode = '\u{1F600}';
+    keys
+}

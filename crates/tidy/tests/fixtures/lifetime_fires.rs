@@ -1,0 +1,7 @@
+//! `'a` is a lifetime, not an unterminated char literal: the v1 scanner
+//! swallowed the rest of the line after it and missed the HashMap.
+use std::collections::HashMap;
+
+pub fn lookup<'a>(table: &'a HashMap<u32, u32>, key: u32) -> Option<&'a u32> {
+    table.get(&key)
+}

@@ -1,0 +1,8 @@
+//! Fixture: a justified float sort.
+
+/// Suppressed with a reason: counted as debt, no diagnostic.
+pub fn median(mut v: Vec<f64>) -> f64 {
+    // um-tidy: allow(partial-cmp-sort) -- inputs validated NaN-free one line above
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v[v.len() / 2]
+}

@@ -1,0 +1,8 @@
+//! Raw strings carrying rule-tripping text are data, not code.
+pub fn snippet() -> &'static str {
+    r#"use std::collections::HashMap; // HashMap, Instant::now, thread_rng"#
+}
+
+pub fn hashed() -> &'static str {
+    r##"nested "#quote#" and dbg!(x) inside"##
+}

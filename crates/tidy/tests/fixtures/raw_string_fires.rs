@@ -1,0 +1,7 @@
+//! The raw string must not mask the real import that follows it.
+pub const EXAMPLE: &str = r#"use std::collections::HashMap; // not code"#;
+use std::collections::HashMap;
+
+pub fn lookup(m: &HashMap<u32, u32>, k: u32) -> Option<&u32> {
+    m.get(&k)
+}

@@ -1,0 +1,4 @@
+//! Workspace fixture A: constructs the "fabric-hop" stream.
+pub fn build(seed: u64) -> um_sim::rng::Rng {
+    um_sim::rng::stream(seed, "fabric-hop")
+}

@@ -1,0 +1,5 @@
+//! Workspace fixture: a deliberately shared stream, justified.
+pub fn build(seed: u64) -> um_sim::rng::Rng {
+    // um-tidy: allow(duplicate-seed-stream) -- mirrored endpoints must draw one stream
+    um_sim::rng::stream(seed, "mirror-pair")
+}

@@ -1,0 +1,4 @@
+//! Workspace fixture B: reuses the same tag from another component.
+pub fn build(seed: u64, lane: u64) -> um_sim::rng::Rng {
+    um_sim::rng::stream_indexed(seed, "fabric-hop", lane)
+}

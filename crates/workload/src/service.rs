@@ -205,7 +205,7 @@ impl ServiceProfile {
         let mut weights: Vec<f64> = (0..n_segments)
             .map(|_| 0.75 + 0.5 * rng.gen::<f64>())
             .collect();
-        let wsum: f64 = weights.iter().sum();
+        let wsum: f64 = weights.iter().sum(); // um-tidy: allow(float-accumulation) -- serial fold over the fixed per-plan weight order
         for w in &mut weights {
             *w *= total_us / wsum;
         }
@@ -228,7 +228,8 @@ impl ServiceProfile {
     pub fn mean_rpcs(&self) -> f64 {
         let extra: f64 = (1..=self.extra_storage_max)
             .map(|k| self.extra_storage_p.powi(k as i32))
-            .sum();
+            .sum(); // um-tidy: allow(float-accumulation) -- serial fold over a fixed geometric series
+                    // um-tidy: allow(float-accumulation) -- serial fold over the fixed downstream-edge order
         self.storage_calls as f64 + extra + self.downstream.iter().map(|&(_, p)| p).sum::<f64>()
     }
 }
