@@ -10,12 +10,21 @@
 //! and carry the report fields (`tool`, `rules`, `violations`, `debt`,
 //! `total_debt`).
 //!
+//! `--scenario <file>` validates a declarative scenario document
+//! (`um_bench::scenario`) instead: it must parse against the scenario
+//! schema (unknown fields are errors), pass `Scenario::validate`,
+//! serialize back byte-identically, and expand to a non-empty point
+//! list. CI runs this over every registry scenario dumped by
+//! `um-sweep --dump-registry`.
+//!
 //! ```text
 //! cargo run --release -p um-bench --bin bench_validate -- BENCH_engine.json
 //! cargo run --release -p um-bench --bin bench_validate -- --tidy /tmp/tidy.json
+//! cargo run --release -p um-bench --bin bench_validate -- --scenario fig7.json
 //! ```
 
 use um_bench::benchjson::{validate_bench_str, Json};
+use um_bench::scenario::Scenario;
 
 fn validate_tidy(path: &str, text: &str) {
     let doc = Json::parse(text).unwrap_or_else(|e| panic!("{path}: {e}"));
@@ -68,17 +77,34 @@ fn validate_tidy(path: &str, text: &str) {
     );
 }
 
+fn validate_scenario(path: &str, text: &str) {
+    let s = Scenario::from_json_text(text).unwrap_or_else(|e| panic!("{path}: {e}"));
+    assert_eq!(
+        s.to_json_text(),
+        text,
+        "{path}: scenario documents must be in canonical form (serialize back byte-identically)"
+    );
+    let points = s.expand().unwrap_or_else(|e| panic!("{path}: {e}")).len();
+    println!("{path}: ok (scenario '{}', {points} points)", s.name);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     assert!(
         !args.is_empty(),
-        "usage: bench_validate [--tidy] <file.json> [more...] (--tidy applies per following file)"
+        "usage: bench_validate [--tidy|--scenario] <file.json> [more...] \
+         (--tidy/--scenario apply per following file)"
     );
     let mut tidy_mode = false;
+    let mut scenario_mode = false;
     let mut validated = 0usize;
     for arg in &args {
         if arg == "--tidy" {
             tidy_mode = true;
+            continue;
+        }
+        if arg == "--scenario" {
+            scenario_mode = true;
             continue;
         }
         let path = arg;
@@ -86,6 +112,9 @@ fn main() {
         if tidy_mode {
             validate_tidy(path, &text);
             tidy_mode = false;
+        } else if scenario_mode {
+            validate_scenario(path, &text);
+            scenario_mode = false;
         } else {
             let doc = validate_bench_str(&text).unwrap_or_else(|e| panic!("{path}: {e}"));
             let bench = doc.get("bench").and_then(Json::as_str).expect("validated");

@@ -10,68 +10,16 @@
 //! lifetimes, that double-counted every downstream microsecond. The
 //! traced breakdown cannot: components sum to end-to-end latency exactly,
 //! so each row is a disjoint share of the mean.
+//!
+//! Thin wrapper over the `breakdown` registry scenario; the conformance
+//! tests pin its expansion and output against the legacy inline driver.
 
-use um_arch::MachineConfig;
-use um_bench::{banner, scale_from_env};
-use um_sim::trace::Component;
-use um_stats::table::{f1, Table};
-use umanycore::experiments::{parallel, run_machine_traced};
-use umanycore::Workload;
+use um_bench::{sanitizer_check, scenario};
 
 fn main() {
-    let scale = scale_from_env();
-    banner(
-        "Measured latency breakdown",
-        "Mean microseconds per root request (downstream RPC tree merged in) at 10K RPS\n\
-         (SocialNetwork mix), attributed by the tracing layer. Components sum to the\n\
-         mean end-to-end latency exactly.",
-    );
-    let machines = [
-        ("ServerClass-40", MachineConfig::server_class_iso_power()),
-        ("ScaleOut", MachineConfig::scaleout()),
-        ("uManycore", MachineConfig::umanycore()),
-    ];
-    let reports = parallel::map(machines.to_vec(), |_, (_, machine)| {
-        run_machine_traced(machine, Workload::social_mix(), 10_000.0, scale)
-    });
-
-    let mut t = Table::with_columns(&["component", "ServerClass-40", "ScaleOut", "uManycore"]);
-    let breakdowns: Vec<_> = reports
-        .iter()
-        .map(|r| r.breakdown.as_ref().expect("traced run"))
-        .collect();
-    for c in Component::ALL {
-        t.row(vec![
-            c.name().to_string(),
-            f1(breakdowns[0].component(c).mean),
-            f1(breakdowns[1].component(c).mean),
-            f1(breakdowns[2].component(c).mean),
-        ]);
-    }
-    t.row(vec![
-        "= end-to-end mean".to_string(),
-        f1(reports[0].latency.mean),
-        f1(reports[1].latency.mean),
-        f1(reports[2].latency.mean),
-    ]);
-    print!("{}", t.render());
-    println!();
-    for ((name, _), r) in machines.iter().zip(&reports) {
-        assert!(
-            r.conservation.exact(),
-            "{name}: conservation violated: {:?}",
-            r.conservation
-        );
-        println!(
-            "{name}: conservation exact over {} requests ({} cycles attributed).",
-            r.conservation.checked, r.conservation.breakdown_cycles
-        );
-    }
-    println!();
-    println!("The software baselines' latency is RPC processing, memory stalls and (as");
-    println!("load grows) queueing; uManycore's is the handler compute plus the storage");
-    println!("tier, with scheduling, switching and RPC overheads at noise level — the");
-    println!("per-component rendering of Figures 3 and 6. Downstream RPC wait appears");
-    println!("as the callee's components (storage-service, compute, rpc-processing),");
-    println!("never as caller queue-wait: the rows sum to the mean latency exactly.");
+    sanitizer_check();
+    let mut s = scenario::registry::breakdown();
+    scenario::apply_env(&mut s);
+    let out = scenario::run(&s).expect("breakdown scenario is valid");
+    print!("{}", out.text);
 }

@@ -13,48 +13,17 @@
 //! cluster_tail > results/cluster_tail.txt`; the output is
 //! bit-identical at any `UM_THREADS`, and CI byte-diffs a regeneration
 //! against the committed file.
+//!
+//! Thin wrapper over the `cluster_tail` registry scenario; the
+//! conformance tests pin its expansion and output against the legacy
+//! inline driver.
 
-use um_bench::{banner, cluster_scale_from_env};
-use um_stats::table::{f1, Table};
-use umanycore::experiments::cluster::cluster_tail_rows;
+use um_bench::{sanitizer_check, scenario};
 
 fn main() {
-    let scale = cluster_scale_from_env();
-    banner(
-        "Cluster tail by routing policy",
-        &format!(
-            "{} uManycore package slices (8-core villages, 64 cores each) behind one\n\
-             load balancer; SocialNetwork mix, 0.5 us rack fabric with lognormal\n\
-             jitter; per-node offered load swept up to ~0.95 utilization.",
-            scale.nodes
-        ),
-    );
-    let rows = cluster_tail_rows(&scale);
-    let mut t = Table::with_columns(&[
-        "policy",
-        "rps/node",
-        "avg (us)",
-        "p99 (us)",
-        "hop avg (us)",
-        "hop p99 (us)",
-        "peak LB queue",
-    ]);
-    for row in &rows {
-        let r = &row.report;
-        t.row(vec![
-            row.policy.to_string(),
-            format!("{:.0}", row.rps_per_node),
-            f1(r.latency.mean),
-            f1(r.latency.p99),
-            f1(r.cluster_hop.mean),
-            f1(r.cluster_hop.p99),
-            r.peak_lb_queue.to_string(),
-        ]);
-    }
-    print!("{}", t.render());
-    println!();
-    println!("At low load the package's internal parallelism absorbs routing imbalance");
-    println!("and every policy ties; past ~0.9 utilization JSQ(2) tracks the central");
-    println!("queue while random routing pays at the p99 — the uqSim/CloudNativeSim-style");
-    println!("cluster result, with a many-core package (not a single worker) per node.");
+    sanitizer_check();
+    let mut s = scenario::registry::cluster_tail();
+    scenario::apply_env(&mut s);
+    let out = scenario::run(&s).expect("cluster_tail scenario is valid");
+    print!("{}", out.text);
 }

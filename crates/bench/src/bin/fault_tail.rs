@@ -5,56 +5,16 @@
 //! until the default RPC timeout abandons it, so even sub-percent loss
 //! rates poison the tail. Timeout + exponential-backoff retry (with a
 //! retry budget) converts most losses into one extra round trip.
+//!
+//! Thin wrapper over the `fault_tail` registry scenario; the conformance
+//! tests pin its expansion and output against the legacy inline driver.
 
-use um_bench::{banner, scale_from_env};
-use um_stats::table::{f1, f2, Table};
-use umanycore::experiments::resilience::{fault_tail_sweep, RESILIENCE_RPS};
+use um_bench::{sanitizer_check, scenario};
 
 fn main() {
-    let scale = scale_from_env();
-    banner(
-        "Tail vs fault rate",
-        "uManycore, SocialNetwork mix at 8K RPS, per-leg message-drop probability\n\
-         swept. `none` = no mitigation (lost operations abandoned at the default\n\
-         RPC timeout, their requests excluded from latency); `retry` = timeout +\n\
-         exponential backoff with a 10% retry budget.",
-    );
-    let rows = fault_tail_sweep(scale);
-    let mut t = Table::with_columns(&[
-        "drop_p",
-        "none p50(us)",
-        "none p99(us)",
-        "none gave-up",
-        "retry p50(us)",
-        "retry p99(us)",
-        "retry gave-up",
-        "retries",
-    ]);
-    for row in &rows {
-        t.row(vec![
-            format!("{:.3}", row.drop_p),
-            f1(row.baseline.latency.p50),
-            f1(row.baseline.latency.p99),
-            row.baseline.faults.gave_up_requests.to_string(),
-            f1(row.mitigated.latency.p50),
-            f1(row.mitigated.latency.p99),
-            row.mitigated.faults.gave_up_requests.to_string(),
-            row.mitigated.faults.retries.to_string(),
-        ]);
-    }
-    print!("{}", t.render());
-    let worst = rows.last().expect("nonempty sweep");
-    println!(
-        "at drop_p={:.3}: retry keeps {} of {} lost operations alive \
-         (baseline abandons {})",
-        worst.drop_p,
-        worst.mitigated.faults.retries,
-        worst.mitigated.faults.drops,
-        worst.baseline.faults.gave_up_requests,
-    );
-    println!(
-        "offered load {RESILIENCE_RPS:.0} RPS/server; all runs conserve latency \
-         to the cycle (checked: {})",
-        f2(worst.baseline.conservation.checked as f64),
-    );
+    sanitizer_check();
+    let mut s = scenario::registry::fault_tail();
+    scenario::apply_env(&mut s);
+    let out = scenario::run(&s).expect("fault_tail scenario is valid");
+    print!("{}", out.text);
 }

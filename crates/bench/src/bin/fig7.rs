@@ -3,29 +3,16 @@
 //!
 //! Paper anchors: at 50K RPS contention inflates the tail 14.7x on the
 //! mesh and 7.5x on the fat tree; the effect shrinks with load.
+//!
+//! Thin wrapper over the `fig7` registry scenario; the conformance tests
+//! pin its expansion and output against the legacy inline driver.
 
-use um_bench::{banner, scale_from_env};
-use um_stats::table::{f2, Table};
-use umanycore::experiments::motivation;
+use um_bench::{sanitizer_check, scenario};
 
 fn main() {
-    let scale = scale_from_env();
-    banner(
-        "Figure 7",
-        "Tail latency with ICN contention, normalized to the same system without\n\
-         contention.",
-    );
-    let loads = [1_000.0, 5_000.0, 10_000.0, 50_000.0];
-    let rows = motivation::fig7_rows(scale, &loads);
-    let mut t = Table::with_columns(&["load", "2D mesh", "fat tree"]);
-    for r in &rows {
-        t.row(vec![
-            format!("{:.0}K-RPS", r.rps / 1000.0),
-            f2(r.mesh_norm_tail),
-            f2(r.fat_tree_norm_tail),
-        ]);
-    }
-    print!("{}", t.render());
-    println!();
-    println!("paper at 50K RPS: mesh 14.7x, fat tree 7.5x");
+    sanitizer_check();
+    let mut s = scenario::registry::fig7();
+    scenario::apply_env(&mut s);
+    let out = scenario::run(&s).expect("fig7 scenario is valid");
+    print!("{}", out.text);
 }

@@ -1,0 +1,113 @@
+//! `um-sweep`: the generic scenario sweep driver.
+//!
+//! Expands a declarative [`um_bench::scenario::Scenario`] grid into its
+//! fully-specified point list, evaluates every point through the
+//! deterministic `UM_THREADS` worker pool (results are bit-identical at
+//! any value), prints the legacy-style text table, and — for grid
+//! scenarios — emits a `BENCH_*.json` document that passes
+//! `bench_validate`.
+//!
+//! ```text
+//! um-sweep                          # run the built-in sweep_default grid
+//! um-sweep NAME                     # run a registry scenario by name
+//! um-sweep --scenario FILE          # run a scenario from a JSON file
+//! um-sweep --json PATH              # also write the benchjson document
+//! um-sweep --list                   # list the registry
+//! um-sweep --dump-registry DIR      # write every registry scenario to DIR
+//! ```
+//!
+//! `UM_SCALE=quick` / `UM_SEED` apply to whichever scenario runs, the
+//! same way they do for the figure binaries.
+
+use um_bench::benchjson::{obj, validate_bench, Json};
+use um_bench::{sanitizer_check, scenario};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: um-sweep [NAME] [--scenario FILE] [--json PATH] [--list] [--dump-registry DIR]"
+    );
+    std::process::exit(2);
+}
+
+fn kind_label(s: &scenario::Scenario) -> &'static str {
+    match &s.kind {
+        scenario::ScenarioKind::Fig7 { .. } => "fig7",
+        scenario::ScenarioKind::Breakdown { .. } => "breakdown",
+        scenario::ScenarioKind::FaultTail { .. } => "fault-tail",
+        scenario::ScenarioKind::ClusterTail { .. } => "cluster-tail",
+        scenario::ScenarioKind::Grid(_) => "grid",
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scenario_file: Option<String> = None;
+    let mut registry_name: Option<String> = None;
+    let mut json_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--list" => {
+                for s in scenario::registry::all() {
+                    let points = s.expand().expect("registry scenarios are valid").len();
+                    println!("{:<16} {:<12} {points} points", s.name, kind_label(&s));
+                }
+                return;
+            }
+            "--dump-registry" => {
+                let dir = it.next().unwrap_or_else(|| usage());
+                std::fs::create_dir_all(dir).expect("create dump directory");
+                for s in scenario::registry::all() {
+                    let path = format!("{dir}/{}.json", s.name);
+                    std::fs::write(&path, s.to_json_text()).expect("write scenario");
+                    println!("wrote {path}");
+                }
+                return;
+            }
+            "--scenario" => scenario_file = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            "--json" => json_path = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            name if !name.starts_with('-') && registry_name.is_none() => {
+                registry_name = Some(name.to_string());
+            }
+            _ => usage(),
+        }
+    }
+    if scenario_file.is_some() && registry_name.is_some() {
+        usage();
+    }
+
+    sanitizer_check();
+    let mut s = match (&scenario_file, &registry_name) {
+        (Some(path), _) => {
+            let text =
+                std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+            scenario::Scenario::from_json_text(&text).unwrap_or_else(|e| panic!("{path}: {e}"))
+        }
+        (None, Some(name)) => scenario::registry::by_name(name).unwrap_or_else(|| {
+            eprintln!("um-sweep: no registry scenario named '{name}' (see --list)");
+            std::process::exit(2);
+        }),
+        (None, None) => scenario::registry::sweep_default(),
+    };
+    scenario::apply_env(&mut s);
+    let out = scenario::run(&s).unwrap_or_else(|e| panic!("{}: {e}", s.name));
+    print!("{}", out.text);
+
+    if let Some(path) = json_path {
+        let points = out
+            .points
+            .unwrap_or_else(|| panic!("{}: only grid scenarios emit benchjson points", s.name));
+        let scale = match std::env::var("UM_SCALE").ok().as_deref() {
+            Some("quick") => "quick",
+            _ => "full",
+        };
+        let doc = obj(vec![
+            ("bench", Json::Str(s.name.clone())),
+            ("scale", Json::Str(scale.to_string())),
+            ("points", points),
+        ]);
+        validate_bench(&doc).expect("sweep output satisfies the bench envelope");
+        std::fs::write(&path, doc.render()).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("um-sweep: wrote {path}");
+    }
+}

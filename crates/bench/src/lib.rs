@@ -23,6 +23,7 @@ use umanycore::experiments::Scale;
 
 pub mod benchjson;
 pub mod engine;
+pub mod scenario;
 
 /// Reads the run scale from `UM_SCALE`/`UM_SEED`.
 pub fn scale_from_env() -> Scale {
@@ -76,13 +77,17 @@ pub fn cluster_scale_from_values(scale: Option<&str>, seed: Option<&str>) -> Clu
     out
 }
 
-/// Prints the standard figure header, after honouring `UM_SANITIZER`.
+/// Honours `UM_SANITIZER` without printing a figure header: announces
+/// the runtime checkers on stderr when they are compiled in, and refuses
+/// to run when they are requested but absent. Binaries whose stdout
+/// comes from [`scenario::run`] (which renders its own header) call this
+/// instead of [`banner`].
 ///
 /// # Panics
 ///
 /// Panics when `UM_SANITIZER` requests the runtime checkers but the
 /// binary was built without the `sim-sanitizer` feature.
-pub fn banner(figure: &str, caption: &str) {
+pub fn sanitizer_check() {
     match sanitizer_status(
         std::env::var("UM_SANITIZER").ok().as_deref(),
         cfg!(feature = "sim-sanitizer"),
@@ -91,9 +96,22 @@ pub fn banner(figure: &str, caption: &str) {
         Ok(false) => {}
         Err(msg) => panic!("{msg}"),
     }
-    println!("== {figure} ==");
-    println!("{caption}");
-    println!();
+}
+
+/// The standard figure header as a string (what [`banner`] prints).
+pub fn header_text(figure: &str, caption: &str) -> String {
+    format!("== {figure} ==\n{caption}\n\n")
+}
+
+/// Prints the standard figure header, after honouring `UM_SANITIZER`.
+///
+/// # Panics
+///
+/// Panics when `UM_SANITIZER` requests the runtime checkers but the
+/// binary was built without the `sim-sanitizer` feature.
+pub fn banner(figure: &str, caption: &str) {
+    sanitizer_check();
+    print!("{}", header_text(figure, caption));
 }
 
 /// Resolves the `UM_SANITIZER` request against the compiled feature set:

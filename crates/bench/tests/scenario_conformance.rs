@@ -1,0 +1,250 @@
+//! Conformance tests for the declarative scenario layer: every converted
+//! figure binary's registry scenario must expand to exactly the config
+//! list the legacy inline driver built, and the sweep runner must render
+//! byte-identical text at any `UM_THREADS`.
+//!
+//! Expansion conformance compares `Debug` renderings field-for-field at
+//! quick scale (the same shape the full-scale committed results use —
+//! only horizons differ, and those come from the same [`Scale`] /
+//! [`ClusterScale`] values on both sides). Thread-identity runs use
+//! further-reduced horizons so the suite stays fast in debug builds; the
+//! determinism property being pinned does not depend on scale, and CI
+//! separately byte-diffs full-scale regenerations of every converted
+//! binary against the committed `results/` files.
+
+use um_arch::config::MachineConfig;
+use um_bench::scenario::{self, registry, ScaleSpec, Scenario, ScenarioKind};
+use umanycore::experiments::cluster::ClusterScale;
+use umanycore::experiments::{cluster, motivation, resilience, Scale};
+use umanycore::{SimConfig, Workload};
+
+/// Applies `UM_SCALE=quick` semantics without touching the environment
+/// (tests run in parallel; env mutation would race).
+fn quick(mut s: Scenario) -> Scenario {
+    scenario::apply_scale_values(&mut s, Some("quick"), None);
+    s
+}
+
+fn node_debugs(s: &Scenario) -> Vec<String> {
+    s.expand()
+        .expect("registry scenarios are valid")
+        .iter()
+        .map(|p| format!("{:?}", p.as_node().expect("single-node point")))
+        .collect()
+}
+
+// -----------------------------------------------------------------
+// Expansion conformance: registry scenario vs legacy inline driver
+// -----------------------------------------------------------------
+
+#[test]
+fn fig7_expands_to_the_legacy_config_list() {
+    let s = quick(registry::fig7());
+    let loads = match &s.kind {
+        ScenarioKind::Fig7 { loads } => loads.clone(),
+        other => panic!("fig7 registry scenario has kind {other:?}"),
+    };
+    let legacy: Vec<String> = motivation::fig7_configs(Scale::quick(), &loads)
+        .iter()
+        .map(|c| format!("{c:?}"))
+        .collect();
+    assert_eq!(node_debugs(&s), legacy);
+}
+
+#[test]
+fn fault_tail_expands_to_the_legacy_config_list() {
+    let s = quick(registry::fault_tail());
+    let legacy: Vec<String> = resilience::fault_tail_configs(Scale::quick())
+        .iter()
+        .map(|c| format!("{c:?}"))
+        .collect();
+    assert_eq!(node_debugs(&s), legacy);
+}
+
+#[test]
+fn breakdown_expands_to_the_legacy_config_list() {
+    let s = quick(registry::breakdown());
+    // The legacy binary called `run_machine_traced(machine, social_mix,
+    // 10_000.0, scale)` per machine, which built exactly this config.
+    let scale = Scale::quick();
+    let legacy: Vec<String> = [
+        MachineConfig::server_class_iso_power(),
+        MachineConfig::scaleout(),
+        MachineConfig::umanycore(),
+    ]
+    .into_iter()
+    .map(|machine| {
+        format!(
+            "{:?}",
+            SimConfig {
+                machine,
+                workload: Workload::social_mix(),
+                rps_per_server: 10_000.0,
+                servers: scale.servers,
+                horizon_us: scale.horizon_us,
+                warmup_us: scale.warmup_us,
+                seed: scale.seed,
+                trace: true,
+                ..SimConfig::default()
+            }
+        )
+    })
+    .collect();
+    assert_eq!(node_debugs(&s), legacy);
+}
+
+#[test]
+fn cluster_tail_expands_to_the_legacy_config_list() {
+    let s = quick(registry::cluster_tail());
+    let points = s.expand().expect("registry scenarios are valid");
+    let ours: Vec<String> = points
+        .iter()
+        .map(|p| format!("{:?}", p.as_cluster().expect("cluster point")))
+        .collect();
+    let legacy: Vec<String> = cluster::cluster_tail_configs(&ClusterScale::quick())
+        .iter()
+        .map(|(_, _, c)| format!("{c:?}"))
+        .collect();
+    assert_eq!(ours, legacy);
+}
+
+// -----------------------------------------------------------------
+// Thread identity: byte-identical text at UM_THREADS ∈ {1, 4}
+// -----------------------------------------------------------------
+
+fn assert_thread_identical(s: &Scenario) {
+    let one = scenario::run_with_threads(s, 1).expect("scenario is valid");
+    let four = scenario::run_with_threads(s, 4).expect("scenario is valid");
+    assert_eq!(
+        one.text, four.text,
+        "{}: text differs across UM_THREADS",
+        s.name
+    );
+    assert_eq!(
+        one.points, four.points,
+        "{}: benchjson points differ across UM_THREADS",
+        s.name
+    );
+}
+
+/// Shrinks a scenario's horizons so debug-profile runs stay fast.
+fn tiny(mut s: Scenario, horizon_us: f64) -> Scenario {
+    s.scale.horizon_us = horizon_us;
+    s.scale.warmup_us = horizon_us / 10.0;
+    s
+}
+
+#[test]
+fn fig7_text_is_bit_identical_across_thread_counts() {
+    let mut s = tiny(registry::fig7(), 5_000.0);
+    if let ScenarioKind::Fig7 { loads } = &mut s.kind {
+        loads.truncate(2);
+    }
+    assert_thread_identical(&s);
+}
+
+#[test]
+fn breakdown_text_is_bit_identical_across_thread_counts() {
+    assert_thread_identical(&tiny(registry::breakdown(), 5_000.0));
+}
+
+#[test]
+fn fault_tail_text_is_bit_identical_across_thread_counts() {
+    let mut s = tiny(registry::fault_tail(), 5_000.0);
+    if let ScenarioKind::FaultTail { drop_rates, .. } = &mut s.kind {
+        *drop_rates = vec![0.0, 0.02];
+    }
+    assert_thread_identical(&s);
+}
+
+#[test]
+fn cluster_tail_text_is_bit_identical_across_thread_counts() {
+    let mut s = tiny(registry::cluster_tail(), 2_000.0);
+    if let ScenarioKind::ClusterTail { loads } = &mut s.kind {
+        *loads = vec![60_000.0];
+    }
+    s.cluster.as_mut().expect("cluster scenario").nodes = 4;
+    assert_thread_identical(&s);
+}
+
+#[test]
+fn sweep_grid_is_bit_identical_across_thread_counts() {
+    let mut s = tiny(registry::sweep_default(), 4_000.0);
+    if let ScenarioKind::Grid(g) = &mut s.kind {
+        g.loads = vec![2_000.0, 8_000.0];
+        g.seeds = vec![42];
+    }
+    assert_thread_identical(&s);
+}
+
+// -----------------------------------------------------------------
+// Regression: the cluster RQ-deadlock guard refuses shallow racks
+// -----------------------------------------------------------------
+
+/// A rack of default-depth (64-entry) RQs with admission control
+/// disabled can deadlock: every RQ fills with requests whose handlers
+/// are blocked on downstream RPCs that need the same RQ slots. The
+/// workaround (DESIGN.md, "Cluster layer") is deep RQs or an admission
+/// cap with `2 * cap <= rq_capacity`; `Scenario::validate` must refuse
+/// the configuration rather than let the sim wedge.
+#[test]
+fn shallow_rq_cluster_without_admission_cap_is_refused() {
+    let mut s = registry::cluster_tail();
+    s.machine.rq_capacity = None; // default 64-entry RQs
+    let err = s
+        .validate()
+        .expect_err("shallow uncapped rack must be refused");
+    for needle in [
+        "max_in_flight",
+        "rq_capacity",
+        "DESIGN.md, \"Cluster layer\"",
+    ] {
+        assert!(err.contains(needle), "error {err:?} missing {needle:?}");
+    }
+
+    // The documented workaround passes: cap with 2 * cap <= rq.
+    s.cluster.as_mut().expect("cluster scenario").max_in_flight = Some(32);
+    s.validate()
+        .expect("capped shallow rack is the documented workaround");
+
+    // One past the pigeonhole bound is refused again.
+    s.cluster.as_mut().expect("cluster scenario").max_in_flight = Some(33);
+    s.validate().expect_err("cap above rq/2 must be refused");
+}
+
+// -----------------------------------------------------------------
+// Registry hygiene
+// -----------------------------------------------------------------
+
+#[test]
+fn every_registry_scenario_expands_and_round_trips() {
+    for s in registry::all() {
+        let points = s.expand().expect("registry scenarios are valid");
+        assert!(!points.is_empty(), "{}: empty expansion", s.name);
+        let text = s.to_json_text();
+        let back = Scenario::from_json_text(&text)
+            .unwrap_or_else(|e| panic!("{}: reparse failed: {e}", s.name));
+        assert_eq!(back, s, "{}: JSON round-trip changed the scenario", s.name);
+        assert_eq!(
+            back.to_json_text(),
+            text,
+            "{}: serialization not byte-stable",
+            s.name
+        );
+    }
+}
+
+#[test]
+fn quick_scale_matches_the_experiment_layer_values() {
+    let s = quick(registry::fig7());
+    assert_eq!(s.scale, ScaleSpec::from_scale(Scale::quick()));
+    let c = quick(registry::cluster_tail());
+    let q = ClusterScale::quick();
+    assert_eq!(c.scale.horizon_us, q.horizon_us);
+    assert_eq!(c.scale.warmup_us, q.warmup_us);
+    assert_eq!(c.cluster.expect("cluster scenario").nodes, q.nodes);
+    match &c.kind {
+        ScenarioKind::ClusterTail { loads } => assert_eq!(*loads, q.loads),
+        other => panic!("cluster_tail registry scenario has kind {other:?}"),
+    }
+}

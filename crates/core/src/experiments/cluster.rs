@@ -123,21 +123,28 @@ pub struct ClusterTailRow {
     pub report: ClusterReport,
 }
 
+/// The fully-specified fleet-tail point list: [`POLICIES`] outermost,
+/// loads innermost — the committed-results row order.
+pub fn cluster_tail_configs(scale: &ClusterScale) -> Vec<(&'static str, f64, ClusterConfig)> {
+    let mut points = Vec::new();
+    for &(name, routing) in &POLICIES {
+        for &rps in &scale.loads {
+            points.push((name, rps, rack_config(scale, rps, routing)));
+        }
+    }
+    points
+}
+
 /// Fleet tail latency by routing policy × offered load; points are
 /// evaluated through the deterministic sweep runner, so the table is
 /// bit-identical at any `UM_THREADS`.
 pub fn cluster_tail_rows(scale: &ClusterScale) -> Vec<ClusterTailRow> {
-    let mut points = Vec::new();
-    for &(name, routing) in &POLICIES {
-        for &rps in &scale.loads {
-            points.push((name, routing, rps));
+    parallel::map(cluster_tail_configs(scale), move |_, (name, rps, cfg)| {
+        ClusterTailRow {
+            policy: name,
+            rps_per_node: rps,
+            report: ClusterSim::new(cfg).run(),
         }
-    }
-    let scale = scale.clone();
-    parallel::map(points, move |_, (name, routing, rps)| ClusterTailRow {
-        policy: name,
-        rps_per_node: rps,
-        report: ClusterSim::new(rack_config(&scale, rps, routing)).run(),
     })
 }
 

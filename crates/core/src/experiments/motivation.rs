@@ -305,51 +305,67 @@ pub struct Fig7Row {
     pub fat_tree_norm_tail: f64,
 }
 
-/// Runs the Figure 7 sweep on ScaleOut with mesh and fat-tree ICNs, all
-/// points in parallel.
-///
-/// Each load derives its own seed; the four runs at one load (two ICNs
-/// x contention on/off) share it, so each normalization is paired.
-pub fn fig7_rows(scale: Scale, loads: &[f64]) -> Vec<Fig7Row> {
-    const VARIANTS: [(IcnKind, bool); 4] = [
-        (IcnKind::Mesh, true),
-        (IcnKind::Mesh, false),
-        (IcnKind::FatTree, true),
-        (IcnKind::FatTree, false),
-    ];
-    let points: Vec<(usize, IcnKind, bool)> = (0..loads.len())
-        .flat_map(|li| VARIANTS.iter().map(move |&(icn, c)| (li, icn, c)))
-        .collect();
-    let tails = parallel::map(points, |_, (li, icn, contention)| {
-        let mut machine = MachineConfig::scaleout();
-        machine.icn = icn;
-        // ICN contention is the variable under study; scheduling and
-        // context-switch overheads are studied separately (Figures 3, 6).
-        machine.ctx_switch = CtxSwitchModel::Custom(0);
-        SystemSim::new(SimConfig {
-            machine,
-            workload: Workload::social_mix(),
-            rps_per_server: loads[li],
-            servers: scale.servers,
-            horizon_us: scale.horizon_us,
-            warmup_us: scale.warmup_us,
-            seed: rng::derive_seed(scale.seed, li as u64),
-            icn_contention: contention,
-            ..SimConfig::default()
-        })
-        .run()
-        .latency
-        .p99
-    });
+/// The four runs per Figure 7 load: ICN kind × contention on/off, in
+/// committed-results point order.
+pub const FIG7_VARIANTS: [(IcnKind, bool); 4] = [
+    (IcnKind::Mesh, true),
+    (IcnKind::Mesh, false),
+    (IcnKind::FatTree, true),
+    (IcnKind::FatTree, false),
+];
+
+/// The fully-specified Figure 7 point list — [`FIG7_VARIANTS`] per load,
+/// loads outermost. Each load derives its own seed; the four runs at one
+/// load share it, so each normalization is paired.
+pub fn fig7_configs(scale: Scale, loads: &[f64]) -> Vec<SimConfig> {
     loads
         .iter()
-        .zip(tails.chunks_exact(VARIANTS.len()))
+        .enumerate()
+        .flat_map(|(li, &rps)| {
+            FIG7_VARIANTS.iter().map(move |&(icn, contention)| {
+                let mut machine = MachineConfig::scaleout();
+                machine.icn = icn;
+                // ICN contention is the variable under study; scheduling
+                // and context-switch overheads are studied separately
+                // (Figures 3, 6).
+                machine.ctx_switch = CtxSwitchModel::Custom(0);
+                SimConfig {
+                    machine,
+                    workload: Workload::social_mix(),
+                    rps_per_server: rps,
+                    servers: scale.servers,
+                    horizon_us: scale.horizon_us,
+                    warmup_us: scale.warmup_us,
+                    seed: rng::derive_seed(scale.seed, li as u64),
+                    icn_contention: contention,
+                    ..SimConfig::default()
+                }
+            })
+        })
+        .collect()
+}
+
+/// Reduces the per-point p99 tails (in [`fig7_configs`] order) to the
+/// figure's paired normalizations.
+pub fn fig7_rows_from(loads: &[f64], tails: &[f64]) -> Vec<Fig7Row> {
+    loads
+        .iter()
+        .zip(tails.chunks_exact(FIG7_VARIANTS.len()))
         .map(|(&rps, t)| Fig7Row {
             rps,
             mesh_norm_tail: t[0] / t[1],
             fat_tree_norm_tail: t[2] / t[3],
         })
         .collect()
+}
+
+/// Runs the Figure 7 sweep on ScaleOut with mesh and fat-tree ICNs, all
+/// points in parallel.
+pub fn fig7_rows(scale: Scale, loads: &[f64]) -> Vec<Fig7Row> {
+    let tails = parallel::map(fig7_configs(scale, loads), |_, cfg| {
+        SystemSim::new(cfg).run().latency.p99
+    });
+    fig7_rows_from(loads, &tails)
 }
 
 // ---------------------------------------------------------------------

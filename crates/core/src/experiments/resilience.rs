@@ -67,8 +67,10 @@ pub struct FaultTailRow {
     pub mitigated: RunReport,
 }
 
-/// Tail latency vs message-loss rate, unmitigated vs retried.
-pub fn fault_tail_sweep(scale: Scale) -> Vec<FaultTailRow> {
+/// The fully-specified fault-tail point list: per drop rate, the
+/// unmitigated config then the retried one, both sharing the rate's
+/// derived seed (and the plan built from it), so each pair is paired.
+pub fn fault_tail_configs(scale: Scale) -> Vec<SimConfig> {
     let mut configs = Vec::new();
     for (i, &drop_p) in DROP_RATES.iter().enumerate() {
         let seed = rng::derive_seed(scale.seed, i as u64);
@@ -91,7 +93,12 @@ pub fn fault_tail_sweep(scale: Scale) -> Vec<FaultTailRow> {
             });
         }
     }
-    let reports = parallel::run_reports(configs);
+    configs
+}
+
+/// Tail latency vs message-loss rate, unmitigated vs retried.
+pub fn fault_tail_sweep(scale: Scale) -> Vec<FaultTailRow> {
+    let reports = parallel::run_reports(fault_tail_configs(scale));
     DROP_RATES
         .iter()
         .zip(reports.chunks_exact(2))

@@ -453,6 +453,205 @@ impl FaultPlanBuilder {
             events: self.events,
         }
     }
+
+    /// Applies one [`FaultRecipe`] (the serializable description of a
+    /// builder call) to this builder.
+    pub fn apply(self, recipe: FaultRecipe) -> Self {
+        match recipe {
+            FaultRecipe::MessageDrops { probability } => self.message_drops(probability),
+            FaultRecipe::CoreFailStop {
+                server,
+                village,
+                at_cycles,
+            } => self.core_fail_stop(server, village, Cycles::new(at_cycles)),
+            FaultRecipe::CoreFailSlow {
+                server,
+                village,
+                cores,
+                from_cycles,
+                until_cycles,
+                slowdown,
+            } => self.core_fail_slow(
+                server,
+                village,
+                cores,
+                FaultWindow::new(
+                    Cycles::new(from_cycles),
+                    Cycles::new(until_cycles),
+                    slowdown,
+                ),
+            ),
+            FaultRecipe::LinkFault {
+                server,
+                link,
+                from_cycles,
+                until_cycles,
+                slowdown,
+            } => self.link_fault(
+                server,
+                link,
+                FaultWindow::new(
+                    Cycles::new(from_cycles),
+                    Cycles::new(until_cycles),
+                    slowdown,
+                ),
+            ),
+            FaultRecipe::FailSlowEveryVillage {
+                servers,
+                villages,
+                cores,
+                from_cycles,
+                until_cycles,
+                slowdown,
+            } => self.fail_slow_every_village(
+                servers,
+                villages,
+                cores,
+                FaultWindow::new(
+                    Cycles::new(from_cycles),
+                    Cycles::new(until_cycles),
+                    slowdown,
+                ),
+            ),
+            FaultRecipe::RandomFailStops {
+                count,
+                servers,
+                villages,
+                horizon_cycles,
+            } => self.random_fail_stops(count, servers, villages, Cycles::new(horizon_cycles)),
+            FaultRecipe::RandomLinkFaults {
+                count,
+                servers,
+                links,
+                horizon_cycles,
+                mean_duration_cycles,
+                slowdown,
+            } => self.random_link_faults(
+                count,
+                servers,
+                links,
+                Cycles::new(horizon_cycles),
+                Cycles::new(mean_duration_cycles),
+                slowdown,
+            ),
+        }
+    }
+}
+
+/// A serializable description of one [`FaultPlanBuilder`] call.
+///
+/// Plans themselves stay behind the seeded-builder discipline (private
+/// fields, no raw-event constructor outside tests); a recipe list plus a
+/// seed is the *serialization format* for a plan. Replaying the recipes
+/// through [`FaultPlan::from_recipes`] reconstructs the plan exactly —
+/// including the randomized helpers, whose draws come from the builder's
+/// private seed-derived stream — so scenario files can round-trip fault
+/// plans without ever touching raw events.
+///
+/// All times are raw cycle counts (the builder's own unit), so a recipe
+/// is a pure value with no frequency dependence.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultRecipe {
+    /// [`FaultPlanBuilder::message_drops`].
+    MessageDrops {
+        /// Per-leg drop probability in `[0, 1)`.
+        probability: f64,
+    },
+    /// [`FaultPlanBuilder::core_fail_stop`].
+    CoreFailStop {
+        /// Server index within the fleet.
+        server: usize,
+        /// Village index within the server.
+        village: usize,
+        /// Cycle at which the core dies.
+        at_cycles: u64,
+    },
+    /// [`FaultPlanBuilder::core_fail_slow`].
+    CoreFailSlow {
+        /// Server index within the fleet.
+        server: usize,
+        /// Village index within the server.
+        village: usize,
+        /// Degraded cores in the village.
+        cores: u32,
+        /// Window start, cycles.
+        from_cycles: u64,
+        /// Window end (exclusive), cycles.
+        until_cycles: u64,
+        /// Service-time multiplier while active.
+        slowdown: f64,
+    },
+    /// [`FaultPlanBuilder::link_fault`].
+    LinkFault {
+        /// Server index within the fleet.
+        server: usize,
+        /// Link index; applied modulo the machine's link count.
+        link: usize,
+        /// Window start, cycles.
+        from_cycles: u64,
+        /// Window end (exclusive), cycles.
+        until_cycles: u64,
+        /// Serialization-time multiplier while active.
+        slowdown: f64,
+    },
+    /// [`FaultPlanBuilder::fail_slow_every_village`].
+    FailSlowEveryVillage {
+        /// Servers covered.
+        servers: usize,
+        /// Villages per server covered.
+        villages: usize,
+        /// Degraded cores per village.
+        cores: u32,
+        /// Window start, cycles.
+        from_cycles: u64,
+        /// Window end (exclusive), cycles.
+        until_cycles: u64,
+        /// Service-time multiplier while active.
+        slowdown: f64,
+    },
+    /// [`FaultPlanBuilder::random_fail_stops`].
+    RandomFailStops {
+        /// Fail-stops scheduled.
+        count: usize,
+        /// Server index space.
+        servers: usize,
+        /// Village index space.
+        villages: usize,
+        /// Fail times drawn uniformly in `[0, horizon)`, cycles.
+        horizon_cycles: u64,
+    },
+    /// [`FaultPlanBuilder::random_link_faults`].
+    RandomLinkFaults {
+        /// Link faults scheduled.
+        count: usize,
+        /// Server index space.
+        servers: usize,
+        /// Link index space.
+        links: usize,
+        /// Start times drawn uniformly in `[0, horizon)`, cycles.
+        horizon_cycles: u64,
+        /// Mean of the exponential window duration, cycles.
+        mean_duration_cycles: u64,
+        /// Degradation factor ([`f64::INFINITY`] for outages).
+        slowdown: f64,
+    },
+}
+
+impl FaultPlan {
+    /// Reconstructs a plan by replaying `recipes` through the seeded
+    /// builder — the deserialization half of the recipe format. An empty
+    /// recipe list yields an empty plan carrying `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics where the replayed builder calls would: out-of-range drop
+    /// probabilities, inverted windows, sub-1 slowdowns.
+    pub fn from_recipes(seed: u64, recipes: &[FaultRecipe]) -> FaultPlan {
+        recipes
+            .iter()
+            .fold(FaultPlan::builder(seed), |b, &r| b.apply(r))
+            .build()
+    }
 }
 
 #[cfg(test)]
@@ -602,5 +801,74 @@ mod tests {
                 assert!(plan.is_degraded(server, village, Cycles::new(1)));
             }
         }
+    }
+
+    #[test]
+    fn recipes_replay_every_builder_call_exactly() {
+        let direct = FaultPlan::builder(7)
+            .message_drops(0.02)
+            .core_fail_stop(0, 3, Cycles::new(500))
+            .core_fail_slow(1, 2, 2, window(10, 90, 4.0))
+            .link_fault(0, 5, window(20, 40, f64::INFINITY))
+            .fail_slow_every_village(2, 3, 1, window(0, 100, 2.0))
+            .random_fail_stops(3, 2, 8, Cycles::new(1_000_000))
+            .random_link_faults(2, 2, 16, Cycles::new(1_000_000), Cycles::new(10_000), 4.0)
+            .build();
+        let recipes = [
+            FaultRecipe::MessageDrops { probability: 0.02 },
+            FaultRecipe::CoreFailStop {
+                server: 0,
+                village: 3,
+                at_cycles: 500,
+            },
+            FaultRecipe::CoreFailSlow {
+                server: 1,
+                village: 2,
+                cores: 2,
+                from_cycles: 10,
+                until_cycles: 90,
+                slowdown: 4.0,
+            },
+            FaultRecipe::LinkFault {
+                server: 0,
+                link: 5,
+                from_cycles: 20,
+                until_cycles: 40,
+                slowdown: f64::INFINITY,
+            },
+            FaultRecipe::FailSlowEveryVillage {
+                servers: 2,
+                villages: 3,
+                cores: 1,
+                from_cycles: 0,
+                until_cycles: 100,
+                slowdown: 2.0,
+            },
+            FaultRecipe::RandomFailStops {
+                count: 3,
+                servers: 2,
+                villages: 8,
+                horizon_cycles: 1_000_000,
+            },
+            FaultRecipe::RandomLinkFaults {
+                count: 2,
+                servers: 2,
+                links: 16,
+                horizon_cycles: 1_000_000,
+                mean_duration_cycles: 10_000,
+                slowdown: 4.0,
+            },
+        ];
+        assert_eq!(FaultPlan::from_recipes(7, &recipes), direct);
+        // The randomized helpers draw from the builder's private stream,
+        // so a different seed reconstructs a different plan.
+        assert_ne!(FaultPlan::from_recipes(8, &recipes), direct);
+    }
+
+    #[test]
+    fn empty_recipe_list_is_an_empty_plan_with_the_seed() {
+        let plan = FaultPlan::from_recipes(9, &[]);
+        assert!(plan.is_empty());
+        assert_eq!(plan.seed(), 9);
     }
 }

@@ -103,13 +103,15 @@ pub enum Rule {
     EnvRead,
     /// async/tokio types inside the std-only sim core.
     AsyncInSim,
+    /// Inline `SimConfig`/`ClusterConfig` literals in um-bench binaries.
+    ScenarioInlineConfig,
     /// Malformed or unknown `um-tidy:` directive.
     AllowSyntax,
 }
 
 impl Rule {
     /// All rules, for `--list-rules` and the allow-directive parser.
-    pub const ALL: [Rule; 16] = [
+    pub const ALL: [Rule; 17] = [
         Rule::UnorderedContainer,
         Rule::WallClock,
         Rule::UnseededRng,
@@ -125,6 +127,7 @@ impl Rule {
         Rule::PartialCmpSort,
         Rule::EnvRead,
         Rule::AsyncInSim,
+        Rule::ScenarioInlineConfig,
         Rule::AllowSyntax,
     ];
 
@@ -154,6 +157,7 @@ impl Rule {
             Rule::PartialCmpSort => "partial-cmp-sort",
             Rule::EnvRead => "env-read",
             Rule::AsyncInSim => "async-in-sim",
+            Rule::ScenarioInlineConfig => "scenario-inline-config",
             Rule::AllowSyntax => "allow-syntax",
         }
     }
@@ -214,6 +218,11 @@ impl Rule {
                 "async/tokio inside the sim core pulls executor scheduling into the \
                  deterministic kernel; the service layer must stay outside crates/*"
             }
+            Rule::ScenarioInlineConfig => {
+                "inline SimConfig/ClusterConfig literals in um-bench binaries bypass the \
+                 declarative scenario layer; express the experiment as a um_bench::scenario \
+                 so it can be committed, validated and replayed as data"
+            }
             Rule::AllowSyntax => {
                 "um-tidy directives must be `um-tidy: allow(<rule>) -- <reason>` with a \
                  known rule id and a nonempty reason"
@@ -243,6 +252,9 @@ impl Rule {
             Rule::PartialCmpSort => "`sort_by(…partial_cmp…)`, `sort_unstable_by` on float keys",
             Rule::EnvRead => "`std::env::var` and friends",
             Rule::AsyncInSim => "`async`/`await`/`tokio` in the sim core",
+            Rule::ScenarioInlineConfig => {
+                "`SimConfig {`/`ClusterConfig {` literals (bypass the scenario layer)"
+            }
             Rule::AllowSyntax => "malformed/unknown `um-tidy:` directives",
         }
     }
@@ -265,6 +277,7 @@ impl Rule {
             Rule::PartialCmpSort => "sim-state crates, non-test code",
             Rule::EnvRead => "sim-state crates, non-test code",
             Rule::AsyncInSim => "sim-state crates, non-test code",
+            Rule::ScenarioInlineConfig => "`crates/bench/src/bin/`, non-test code",
             Rule::AllowSyntax => "everywhere",
         }
     }
@@ -387,6 +400,15 @@ impl FileContext {
     fn harvests_seed_streams(&self) -> bool {
         !matches!(&self.krate, Some(k) if k == "tidy")
     }
+}
+
+/// Whether a path is a um-bench binary — the driver layer the
+/// `scenario-inline-config` rule fences. The scenario module itself
+/// (`crates/bench/src/scenario.rs`) is the one place allowed to build
+/// `SimConfig`/`ClusterConfig` literals from declarative specs; it lives
+/// outside `src/bin/`, so a simple prefix check suffices.
+fn is_bench_bin(path: &str) -> bool {
+    path.starts_with("crates/bench/src/bin/")
 }
 
 /// Whether `hay` contains `needle` as a standalone word (no identifier
@@ -688,6 +710,39 @@ fn analyze_source(rel_path: &str, source: &str) -> FileAnalysis {
                  determinism tests pin"
                     .into(),
             ));
+        }
+
+        // -- scenario-layer provenance ----------------------------------
+        // Figure binaries describe experiments; the scenario layer builds
+        // configs. An inline struct literal in a bin is an experiment CI
+        // cannot validate, diff or replay from JSON.
+        if is_bench_bin(&path) && !in_test {
+            for pat in ["SimConfig {", "ClusterConfig {"] {
+                // A function signature's `-> SimConfig {` opens a body,
+                // not a struct literal.
+                let is_literal = |code: &str| {
+                    let mut from = 0;
+                    while let Some(pos) = code[from..].find(pat) {
+                        let at = from + pos;
+                        if !code[..at].ends_with("-> ") {
+                            return true;
+                        }
+                        from = at + pat.len();
+                    }
+                    false
+                };
+                if is_literal(cleaned) && contains_word(cleaned, pat.trim_end_matches(" {")) {
+                    firings.push((
+                        Rule::ScenarioInlineConfig,
+                        format!(
+                            "inline `{}` literal in a um-bench binary: build the experiment as \
+                             a um_bench::scenario::Scenario (registry or JSON) and expand it, \
+                             so the config list is committed, validated data",
+                            pat.trim_end_matches(" {")
+                        ),
+                    ));
+                }
+            }
         }
 
         // -- fault-plan provenance --------------------------------------
@@ -1512,6 +1567,36 @@ mod tests {
         }
         assert!(check_source("crates/sched/src/x.rs", "let asynchrony = 1;\n").is_empty());
         assert!(check_source("src/service.rs", "pub async fn serve() {}\n").is_empty());
+    }
+
+    #[test]
+    fn inline_config_flagged_only_in_bench_bins() {
+        let sim = "SystemSim::new(SimConfig {\n";
+        let cluster = "let c = ClusterConfig {\n";
+        for src in [sim, cluster] {
+            let diags = check_source("crates/bench/src/bin/x.rs", src);
+            assert_eq!(
+                diags.first().map(|d| d.rule),
+                Some(Rule::ScenarioInlineConfig),
+                "{src}"
+            );
+        }
+        // The scenario module, the experiment layer and tests all build
+        // configs by design; `..Default()` updates and net-config
+        // literals are not experiment definitions.
+        assert!(check_source("crates/bench/src/scenario.rs", sim).is_empty());
+        assert!(check_source("crates/core/src/experiments/motivation.rs", sim).is_empty());
+        assert!(check_source("crates/bench/tests/t.rs", sim).is_empty());
+        for fine in [
+            "..SimConfig::default()\n",
+            "net: ClusterNetConfig {\n",
+            "fn base() -> SimConfig {\n",
+        ] {
+            assert!(
+                check_source("crates/bench/src/bin/x.rs", fine).is_empty(),
+                "{fine}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,34 @@
+//! Fixture: inline experiment configs in a um-bench binary.
+
+/// A figure binary hand-building its config bypasses the scenario
+/// layer: fires.
+pub fn run_point(rps: f64) -> RunReport {
+    SystemSim::new(SimConfig {
+        machine: MachineConfig::umanycore(),
+        rps_per_server: rps,
+        ..SimConfig::default()
+    })
+    .run()
+}
+
+/// Same for the rack layer: fires.
+pub fn rack(nodes: usize) -> ClusterConfig {
+    ClusterConfig {
+        nodes,
+        ..ClusterConfig::default()
+    }
+}
+
+/// A return type opening a body, a bare path expression: must not fire.
+pub fn tweak(base: SimConfig) -> SimConfig {
+    SimConfig::default()
+}
+
+/// The rack-fabric net config is a component knob, not an experiment
+/// definition: must not fire.
+pub fn jitter() -> ClusterNetConfig {
+    ClusterNetConfig {
+        jitter_us: None,
+        ..ClusterNetConfig::default()
+    }
+}

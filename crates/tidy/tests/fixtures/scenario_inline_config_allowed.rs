@@ -1,0 +1,12 @@
+//! Fixture: a justified inline config in an unconverted binary.
+
+/// Suppressed with a reason: counted as debt, no diagnostic.
+pub fn run_point(rps: f64) -> RunReport {
+    // um-tidy: allow(scenario-inline-config) -- not yet converted to the scenario layer; tracked in results/tidy_debt.txt
+    SystemSim::new(SimConfig {
+        machine: MachineConfig::umanycore(),
+        rps_per_server: rps,
+        ..SimConfig::default()
+    })
+    .run()
+}

@@ -77,6 +77,11 @@ const CASES: &[(&str, &str, &str)] = &[
     ),
     ("env_read", "crates/sched/src/fixture.rs", "env-read"),
     ("async_in_sim", "crates/net/src/fixture.rs", "async-in-sim"),
+    (
+        "scenario_inline_config",
+        "crates/bench/src/bin/fixture.rs",
+        "scenario-inline-config",
+    ),
     // allow escape hatches: suppressed diagnostics, zero output
     ("allow_escape", "crates/net/src/fixture.rs", ""),
     (
@@ -91,6 +96,11 @@ const CASES: &[(&str, &str, &str)] = &[
     ),
     ("env_read_allowed", "crates/sched/src/fixture.rs", ""),
     ("async_in_sim_allowed", "crates/net/src/fixture.rs", ""),
+    (
+        "scenario_inline_config_allowed",
+        "crates/bench/src/bin/fixture.rs",
+        "",
+    ),
     // v1 line-scanner misreads, pinned as lexer regressions
     (
         "block_comment_fires",
@@ -245,6 +255,10 @@ fn allowed_fixtures_register_debt() {
         ("partial_cmp_sort_allowed", "crates/stats/src/fixture.rs"),
         ("env_read_allowed", "crates/sched/src/fixture.rs"),
         ("async_in_sim_allowed", "crates/net/src/fixture.rs"),
+        (
+            "scenario_inline_config_allowed",
+            "crates/bench/src/bin/fixture.rs",
+        ),
     ] {
         let files = vec![(virtual_path.to_string(), read_fixture(name))];
         let report = um_tidy::check_files(&files);

@@ -2,10 +2,11 @@
 //!
 //! The build environment for this repository has no access to crates.io,
 //! so the workspace vendors the slice of proptest it uses: the
-//! [`Strategy`] trait with `prop_map`, range and [`Just`] strategies,
-//! `prop_oneof!`, `proptest::collection::vec`, `proptest::bool::ANY`,
-//! [`ProptestConfig`], and the `proptest!` / `prop_assert*!` /
-//! `prop_assume!` macros.
+//! [`Strategy`] trait with `prop_map`, range, tuple, array and [`Just`]
+//! strategies, `prop_oneof!` (uniform and `weight => strategy`),
+//! `proptest::collection::vec`, `proptest::option::of`,
+//! `proptest::bool::ANY`, [`ProptestConfig`], and the `proptest!` /
+//! `prop_assert*!` / `prop_assume!` macros.
 //!
 //! Unlike upstream proptest this runner is **fully deterministic**: case
 //! seeds derive from a fixed constant mixed with the case index, so a
@@ -169,6 +170,42 @@ impl<T> Strategy for Union<T> {
     }
 }
 
+/// A weighted choice among boxed strategies; built by the
+/// `weight => strategy` form of `prop_oneof!`.
+pub struct WeightedUnion<T> {
+    options: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T> WeightedUnion<T> {
+    /// Creates a weighted union over `options`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `options` is empty or every weight is zero.
+    pub fn new(options: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total = options.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total > 0, "prop_oneof! needs at least one positive weight");
+        Self { options, total }
+    }
+}
+
+impl<T> Strategy for WeightedUnion<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut SmallRng) -> T {
+        let mut pick = rng.gen_range(0..self.total);
+        for (w, s) in &self.options {
+            let w = u64::from(*w);
+            if pick < w {
+                return s.sample(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights sum to total")
+    }
+}
+
 macro_rules! impl_range_strategy {
     ($($ty:ty),+ $(,)?) => {$(
         impl Strategy for Range<$ty> {
@@ -182,6 +219,66 @@ macro_rules! impl_range_strategy {
 }
 
 impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+impl<S: Strategy, const N: usize> Strategy for [S; N] {
+    type Value = [S::Value; N];
+
+    fn sample(&self, rng: &mut SmallRng) -> [S::Value; N] {
+        std::array::from_fn(|i| self[i].sample(rng))
+    }
+}
+
+/// `Option` strategies.
+pub mod option {
+    use super::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// The result of [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn sample(&self, rng: &mut SmallRng) -> Option<S::Value> {
+            if rng.gen::<bool>() {
+                Some(self.inner.sample(rng))
+            } else {
+                None
+            }
+        }
+    }
+
+    /// Yields `None` and `Some(inner)` with equal probability
+    /// (`proptest::option::of`).
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
 
 /// Boolean strategies.
 pub mod bool {
@@ -313,9 +410,15 @@ macro_rules! prop_assume {
     };
 }
 
-/// Uniform choice among strategies with a common value type.
+/// Choice among strategies with a common value type: uniform
+/// (`prop_oneof![a, b]`) or weighted (`prop_oneof![3 => a, 1 => b]`).
 #[macro_export]
 macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::WeightedUnion::new(vec![
+            $(($weight, $crate::Strategy::boxed($strategy))),+
+        ])
+    };
     ($($strategy:expr),+ $(,)?) => {
         $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
     };
@@ -447,5 +550,44 @@ mod tests {
             prop_assert!((1..50).contains(&xs.len()));
             prop_assert_eq!(ys.len(), 3);
         }
+    }
+
+    proptest! {
+        /// Tuple and array strategies sample every component in bounds.
+        #[test]
+        fn tuple_and_array_strategies(
+            pair in (0u32..10, 100u64..200),
+            dims in [1usize..8, 1usize..8, 1usize..8],
+        ) {
+            prop_assert!(pair.0 < 10);
+            prop_assert!((100..200).contains(&pair.1));
+            prop_assert!(dims.iter().all(|&d| (1..8).contains(&d)));
+        }
+    }
+
+    #[test]
+    fn option_of_yields_both_variants() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let s = crate::option::of(0u32..10);
+        let (mut some, mut none) = (0, 0);
+        for _ in 0..200 {
+            match s.sample(&mut rng) {
+                Some(v) => {
+                    assert!(v < 10);
+                    some += 1;
+                }
+                None => none += 1,
+            }
+        }
+        assert!(some > 0 && none > 0);
+    }
+
+    #[test]
+    fn weighted_union_respects_weights() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let s = prop_oneof![9 => Just(true), 1 => Just(false)];
+        let heavy = (0..1_000).filter(|_| s.sample(&mut rng)).count();
+        // 9:1 odds; even a loose bound catches swapped or ignored weights.
+        assert!(heavy > 700, "heavy arm drawn only {heavy}/1000 times");
     }
 }
