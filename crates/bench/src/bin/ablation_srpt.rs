@@ -5,87 +5,17 @@
 //! blocking already interleaves requests. This bench tests the claim on
 //! the full system: the SocialNetwork mix (homogeneous per service) and a
 //! heavy-tailed synthetic workload (where SRPT classically shines).
+//!
+//! Thin wrapper over the `ablation_srpt` registry scenario; the
+//! conformance tests pin its expansion against the legacy inline config
+//! list and CI byte-diffs the output against `results/ablation_srpt.txt`.
 
-use um_arch::MachineConfig;
-use um_bench::{banner, scale_from_env};
-use um_sched::DequeuePolicy;
-use um_stats::table::{f1, Table};
-use um_workload::synthetic::SyntheticWorkload;
-use um_workload::ServiceTimeDist;
-use umanycore::experiments::parallel;
-use umanycore::{SimConfig, SystemSim, Workload};
+use um_bench::{sanitizer_check, scenario};
 
 fn main() {
-    let scale = scale_from_env();
-    banner(
-        "Ablation: FCFS vs SRPT",
-        "Tail latency of the uManycore hardware RQ under both dequeue policies.",
-    );
-    let mut t = Table::with_columns(&[
-        "workload",
-        "load",
-        "FCFS tail (us)",
-        "SRPT tail (us)",
-        "SRPT/FCFS",
-    ]);
-    let heavy = Workload::Synthetic(SyntheticWorkload::new(
-        ServiceTimeDist::lognormal_with_mean(400.0, 9.0),
-        2,
-        6,
-    ));
-    // The last load of each pair drives uManycore near saturation, where
-    // village queues actually form and the policies can differ. Each
-    // (workload, load) point runs its FCFS/SRPT pair on one worker with
-    // a shared seed, so the ratio is paired; points fan out in parallel.
-    let points: Vec<(&str, Workload, f64)> = [
-        (
-            "SocialMix",
-            Workload::social_mix(),
-            [200_000.0, 1_200_000.0],
-        ),
-        ("HeavyTail", heavy, [200_000.0, 1_000_000.0]),
-    ]
-    .into_iter()
-    .flat_map(|(label, workload, loads)| loads.map(move |rps| (label, workload.clone(), rps)))
-    .collect();
-    let rows = parallel::map(points, |_, (label, workload, rps)| {
-        let run = |policy: DequeuePolicy| {
-            // um-tidy: allow(scenario-inline-config) -- not yet converted to the scenario layer; tracked in results/tidy_debt.txt
-            SystemSim::new(SimConfig {
-                machine: MachineConfig::umanycore(),
-                workload: workload.clone(),
-                rps_per_server: rps,
-                servers: scale.servers,
-                horizon_us: scale.horizon_us,
-                warmup_us: scale.warmup_us,
-                seed: scale.seed,
-                dequeue_policy: policy,
-                ..SimConfig::default()
-            })
-            .run()
-            .latency
-            .p99
-        };
-        (
-            label,
-            rps,
-            run(DequeuePolicy::Fcfs),
-            run(DequeuePolicy::Srpt),
-        )
-    });
-    for (label, rps, fcfs, srpt) in rows {
-        t.row(vec![
-            label.to_string(),
-            format!("{:.0}K", rps / 1000.0),
-            f1(fcfs),
-            f1(srpt),
-            format!("{:.2}", srpt / fcfs),
-        ]);
-    }
-    print!("{}", t.render());
-    println!();
-    println!("paper claim (§4.3): SRPT is unlikely to improve over FCFS for");
-    println!("microservices. At evaluation loads the village queues stay shallow and");
-    println!("the policies coincide (ratio 1.00); near saturation SRPT actively");
-    println!("*hurts* the P99 by starving long requests. FCFS is the right choice.");
+    sanitizer_check();
+    let mut s = scenario::registry::ablation_srpt();
+    scenario::apply_env(&mut s);
+    let out = scenario::run(&s).expect("ablation_srpt scenario is valid");
+    print!("{}", out.text);
 }

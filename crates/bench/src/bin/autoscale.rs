@@ -6,71 +6,17 @@
 //! burst's requests pile up. This bench drives uManycore with bursty
 //! (MMPP) arrivals and compares pool-backed and cold-boot autoscaling
 //! against no autoscaling at all.
+//!
+//! Thin wrapper over the `autoscale` registry scenario; the conformance
+//! tests pin its expansion against the legacy inline config list and CI
+//! byte-diffs the output against `results/autoscale.txt`.
 
-use um_arch::MachineConfig;
-use um_bench::{banner, scale_from_env};
-use um_stats::table::{f1, Table};
-use umanycore::experiments::parallel;
-use umanycore::system::ArrivalProcess;
-use umanycore::{SimConfig, SystemSim, Workload};
+use um_bench::{sanitizer_check, scenario};
 
 fn main() {
-    let scale = scale_from_env();
-    banner(
-        "Autoscaling with snapshot pools",
-        "Bursty (MMPP) SocialNetwork traffic on uManycore; small 8-entry RQs so\n\
-         bursts overflow a single instance.",
-    );
-    // The MMPP dwells ~220 ms in the low state and ~30 ms in bursts, so
-    // a horizon of one scale unit (200 ms) samples roughly one burst
-    // cycle and the whole comparison hinges on whether that cycle
-    // happens to burst. Run 5x longer so every configuration sees
-    // several bursts regardless of the seed.
-    let run = |autoscale: bool, pool: bool| {
-        let mut machine = MachineConfig::umanycore();
-        machine.memory_pool = pool;
-        machine.rq_capacity = 8;
-        // um-tidy: allow(scenario-inline-config) -- not yet converted to the scenario layer; tracked in results/tidy_debt.txt
-        SystemSim::new(SimConfig {
-            machine,
-            workload: Workload::social_mix(),
-            rps_per_server: 160_000.0,
-            servers: scale.servers,
-            horizon_us: scale.horizon_us * 5.0,
-            warmup_us: scale.warmup_us,
-            seed: scale.seed,
-            arrivals: ArrivalProcess::Bursty,
-            autoscale,
-            ..SimConfig::default()
-        })
-        .run()
-    };
-    let mut t = Table::with_columns(&[
-        "configuration",
-        "avg (us)",
-        "p99 (us)",
-        "boots",
-        "RQ overflows",
-    ]);
-    let configs = [
-        ("no autoscaling", false, true),
-        ("autoscale, cold boots", true, false),
-        ("autoscale + snapshot pool", true, true),
-    ];
-    let reports = parallel::map(configs.to_vec(), |_, (_, autoscale, pool)| {
-        run(autoscale, pool)
-    });
-    for ((name, _, _), r) in configs.iter().zip(reports) {
-        t.row(vec![
-            name.to_string(),
-            f1(r.latency.mean),
-            f1(r.latency.p99),
-            r.instance_boots.to_string(),
-            r.rq_overflows.to_string(),
-        ]);
-    }
-    print!("{}", t.render());
-    println!();
-    println!("paper: snapshots cut instance boot from >300 ms to <10 ms (§3.5), which");
-    println!("is what lets the system absorb the Figure 2 bursts without tail spikes.");
+    sanitizer_check();
+    let mut s = scenario::registry::autoscale();
+    scenario::apply_env(&mut s);
+    let out = scenario::run(&s).expect("autoscale scenario is valid");
+    print!("{}", out.text);
 }

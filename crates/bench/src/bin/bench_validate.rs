@@ -17,10 +17,15 @@
 //! list. CI runs this over every registry scenario dumped by
 //! `um-sweep --dump-registry`.
 //!
+//! `--service <file>` validates a `bench_service` throughput document:
+//! the usual bench envelope, plus every point must carry the `clients`
+//! and `jobs_per_sec` axes the service trajectory is plotted on.
+//!
 //! ```text
 //! cargo run --release -p um-bench --bin bench_validate -- BENCH_engine.json
 //! cargo run --release -p um-bench --bin bench_validate -- --tidy /tmp/tidy.json
 //! cargo run --release -p um-bench --bin bench_validate -- --scenario fig7.json
+//! cargo run --release -p um-bench --bin bench_validate -- --service BENCH_service.json
 //! ```
 
 use um_bench::benchjson::{validate_bench_str, Json};
@@ -88,15 +93,33 @@ fn validate_scenario(path: &str, text: &str) {
     println!("{path}: ok (scenario '{}', {points} points)", s.name);
 }
 
+fn validate_service(path: &str, text: &str) {
+    let doc = validate_bench_str(text).unwrap_or_else(|e| panic!("{path}: {e}"));
+    let bench = doc.get("bench").and_then(Json::as_str).expect("validated");
+    assert_eq!(bench, "service", "{path}: `bench` must be \"service\"");
+    let points = doc.get("points").and_then(Json::as_arr).expect("validated");
+    for (i, p) in points.iter().enumerate() {
+        for axis in ["clients", "jobs_per_sec"] {
+            let v = p
+                .get(axis)
+                .and_then(Json::as_num)
+                .unwrap_or_else(|| panic!("{path}: points[{i}] missing numeric `{axis}`"));
+            assert!(v > 0.0, "{path}: points[{i}].{axis} must be positive");
+        }
+    }
+    println!("{path}: ok (service throughput, {} points)", points.len());
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     assert!(
         !args.is_empty(),
-        "usage: bench_validate [--tidy|--scenario] <file.json> [more...] \
-         (--tidy/--scenario apply per following file)"
+        "usage: bench_validate [--tidy|--scenario|--service] <file.json> [more...] \
+         (--tidy/--scenario/--service apply per following file)"
     );
     let mut tidy_mode = false;
     let mut scenario_mode = false;
+    let mut service_mode = false;
     let mut validated = 0usize;
     for arg in &args {
         if arg == "--tidy" {
@@ -107,6 +130,10 @@ fn main() {
             scenario_mode = true;
             continue;
         }
+        if arg == "--service" {
+            service_mode = true;
+            continue;
+        }
         let path = arg;
         let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
         if tidy_mode {
@@ -115,6 +142,9 @@ fn main() {
         } else if scenario_mode {
             validate_scenario(path, &text);
             scenario_mode = false;
+        } else if service_mode {
+            validate_service(path, &text);
+            service_mode = false;
         } else {
             let doc = validate_bench_str(&text).unwrap_or_else(|e| panic!("{path}: {e}"));
             let bench = doc.get("bench").and_then(Json::as_str).expect("validated");

@@ -5,73 +5,17 @@
 //! Paper anchors: 3.7x lower average latency, 10.4x lower tail latency,
 //! 15.5x higher throughput than the iso-power ServerClass cluster
 //! (averages over the loads).
+//!
+//! Thin wrapper over the `cluster10` registry scenario; the conformance
+//! tests pin its expansion against the legacy inline config list and CI
+//! byte-diffs the output against `results/cluster10.txt`.
 
-use um_arch::MachineConfig;
-use um_bench::{banner, scale_from_env};
-use um_stats::summary::geomean;
-use um_stats::table::{f1, Table};
-use umanycore::experiments::parallel;
-use umanycore::{SimConfig, SystemSim, Workload};
+use um_bench::{sanitizer_check, scenario};
 
 fn main() {
-    let mut scale = scale_from_env();
-    scale.servers = 10;
-    banner(
-        "Cluster of 10 servers",
-        "End-to-end latency of 10-server clusters under the SocialNetwork mix.",
-    );
-    let mut t = Table::with_columns(&["machine", "load", "avg (us)", "p99 (us)", "cluster util"]);
-    let mut avg_ratio = Vec::new();
-    let mut tail_ratio = Vec::new();
-    let loads = [5_000.0, 10_000.0, 15_000.0];
-    let names = ["ServerClass-40", "ServerClass-128", "ScaleOut", "uManycore"];
-    let variants = || {
-        [
-            MachineConfig::server_class_iso_power(),
-            MachineConfig::server_class_iso_area(),
-            MachineConfig::scaleout(),
-            MachineConfig::umanycore(),
-        ]
-    };
-    // All 12 cluster runs in parallel; the four machines at one load
-    // share the seed so the headline ratios stay paired.
-    let points: Vec<(f64, MachineConfig)> = loads
-        .iter()
-        .flat_map(|&rps| variants().map(|m| (rps, m)))
-        .collect();
-    let reports = parallel::map(points, |_, (rps, machine)| {
-        // um-tidy: allow(scenario-inline-config) -- not yet converted to the scenario layer; tracked in results/tidy_debt.txt
-        SystemSim::new(SimConfig {
-            machine,
-            workload: Workload::social_mix(),
-            rps_per_server: rps,
-            servers: scale.servers,
-            horizon_us: scale.horizon_us,
-            warmup_us: scale.warmup_us,
-            seed: scale.seed,
-            ..SimConfig::default()
-        })
-        .run()
-    });
-    for (&rps, chunk) in loads.iter().zip(reports.chunks_exact(names.len())) {
-        for (name, r) in names.iter().zip(chunk) {
-            t.row(vec![
-                name.to_string(),
-                format!("{:.0}K/srv", rps / 1000.0),
-                f1(r.latency.mean),
-                f1(r.latency.p99),
-                format!("{:.3}", r.utilization),
-            ]);
-        }
-        avg_ratio.push(chunk[0].latency.mean / chunk[3].latency.mean);
-        tail_ratio.push(chunk[0].latency.p99 / chunk[3].latency.p99);
-    }
-    print!("{}", t.render());
-    println!();
-    println!(
-        "uManycore cluster vs iso-power ServerClass cluster: {:.1}x lower average,\n\
-         {:.1}x lower tail (paper: 3.7x and 10.4x)",
-        geomean(&avg_ratio),
-        geomean(&tail_ratio)
-    );
+    sanitizer_check();
+    let mut s = scenario::registry::cluster10();
+    scenario::apply_env(&mut s);
+    let out = scenario::run(&s).expect("cluster10 scenario is valid");
+    print!("{}", out.text);
 }

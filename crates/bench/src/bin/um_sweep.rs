@@ -12,6 +12,7 @@
 //! um-sweep NAME                     # run a registry scenario by name
 //! um-sweep --scenario FILE          # run a scenario from a JSON file
 //! um-sweep --json PATH              # also write the benchjson document
+//! um-sweep --csv PATH               # also write the points as CSV
 //! um-sweep --list                   # list the registry
 //! um-sweep --dump-registry DIR      # write every registry scenario to DIR
 //! ```
@@ -24,7 +25,8 @@ use um_bench::{sanitizer_check, scenario};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: um-sweep [NAME] [--scenario FILE] [--json PATH] [--list] [--dump-registry DIR]"
+        "usage: um-sweep [NAME] [--scenario FILE] [--json PATH] [--csv PATH] [--list] \
+         [--dump-registry DIR]"
     );
     std::process::exit(2);
 }
@@ -35,8 +37,60 @@ fn kind_label(s: &scenario::Scenario) -> &'static str {
         scenario::ScenarioKind::Breakdown { .. } => "breakdown",
         scenario::ScenarioKind::FaultTail { .. } => "fault-tail",
         scenario::ScenarioKind::ClusterTail { .. } => "cluster-tail",
+        scenario::ScenarioKind::MachineCompare { .. } => "machine-compare",
+        scenario::ScenarioKind::Autoscale { .. } => "autoscale",
+        scenario::ScenarioKind::SrptAblation { .. } => "srpt-ablation",
         scenario::ScenarioKind::Grid(_) => "grid",
     }
+}
+
+/// One CSV cell: numbers exactly as benchjson renders them (so the CSV
+/// and the JSON document agree byte-for-byte on every value), strings
+/// raw — no point emits cells needing quoting, and the writer refuses
+/// rather than quietly producing a misaligned file.
+fn csv_cell(v: &Json) -> String {
+    match v {
+        Json::Num(n) => {
+            if n.fract() == 0.0 && n.abs() < 9.0e15 {
+                format!("{n:.0}")
+            } else {
+                format!("{n}")
+            }
+        }
+        Json::Str(s) => {
+            assert!(
+                !s.contains([',', '"', '\n']),
+                "CSV cell {s:?} would need quoting"
+            );
+            s.clone()
+        }
+        Json::Bool(b) => b.to_string(),
+        other => panic!("CSV cells must be scalars, got {other:?}"),
+    }
+}
+
+/// Renders the grid points as CSV: the header comes from the first
+/// point's keys, and every point must carry exactly the same columns.
+fn points_to_csv(points: &Json) -> String {
+    let rows = points.as_arr().expect("points is an array");
+    let first = rows.first().expect("grid expansion is non-empty");
+    let header: Vec<&str> = first
+        .as_obj()
+        .expect("points are objects")
+        .iter()
+        .map(|(k, _)| k.as_str())
+        .collect();
+    let mut out = header.join(",");
+    out.push('\n');
+    for row in rows {
+        let pairs = row.as_obj().expect("points are objects");
+        let keys: Vec<&str> = pairs.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, header, "every point must carry the same columns");
+        let cells: Vec<String> = pairs.iter().map(|(_, v)| csv_cell(v)).collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    out
 }
 
 fn main() {
@@ -44,6 +98,7 @@ fn main() {
     let mut scenario_file: Option<String> = None;
     let mut registry_name: Option<String> = None;
     let mut json_path: Option<String> = None;
+    let mut csv_path: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -66,6 +121,7 @@ fn main() {
             }
             "--scenario" => scenario_file = Some(it.next().unwrap_or_else(|| usage()).clone()),
             "--json" => json_path = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            "--csv" => csv_path = Some(it.next().unwrap_or_else(|| usage()).clone()),
             name if !name.starts_with('-') && registry_name.is_none() => {
                 registry_name = Some(name.to_string());
             }
@@ -93,21 +149,29 @@ fn main() {
     let out = scenario::run(&s).unwrap_or_else(|e| panic!("{}: {e}", s.name));
     print!("{}", out.text);
 
-    if let Some(path) = json_path {
+    if json_path.is_some() || csv_path.is_some() {
         let points = out
             .points
             .unwrap_or_else(|| panic!("{}: only grid scenarios emit benchjson points", s.name));
-        let scale = match std::env::var("UM_SCALE").ok().as_deref() {
-            Some("quick") => "quick",
-            _ => "full",
-        };
-        let doc = obj(vec![
-            ("bench", Json::Str(s.name.clone())),
-            ("scale", Json::Str(scale.to_string())),
-            ("points", points),
-        ]);
-        validate_bench(&doc).expect("sweep output satisfies the bench envelope");
-        std::fs::write(&path, doc.render()).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
-        eprintln!("um-sweep: wrote {path}");
+        if let Some(path) = json_path {
+            let scale = match std::env::var("UM_SCALE").ok().as_deref() {
+                Some("quick") => "quick",
+                _ => "full",
+            };
+            let doc = obj(vec![
+                ("bench", Json::Str(s.name.clone())),
+                ("scale", Json::Str(scale.to_string())),
+                ("points", points.clone()),
+            ]);
+            validate_bench(&doc).expect("sweep output satisfies the bench envelope");
+            std::fs::write(&path, doc.render())
+                .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            eprintln!("um-sweep: wrote {path}");
+        }
+        if let Some(path) = csv_path {
+            std::fs::write(&path, points_to_csv(&points))
+                .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            eprintln!("um-sweep: wrote {path}");
+        }
     }
 }

@@ -18,11 +18,14 @@
 //! the deterministic sweep runner — results are bit-identical at any
 //! `UM_THREADS`.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use um_arch::config::{IcnKind, MachineConfig, TopologyShape};
-use um_sched::{CtxSwitchModel, HedgeConfig, MitigationConfig, RetryConfig};
+use um_sched::{CtxSwitchModel, DequeuePolicy, HedgeConfig, MitigationConfig, RetryConfig};
 use um_sim::fault::{FaultPlan, FaultRecipe};
 use um_sim::rng;
 use um_sim::trace::Component;
+use um_stats::summary::geomean;
 use um_stats::table::{f1, f2, Table};
 use um_workload::synthetic::SyntheticWorkload;
 use um_workload::ServiceTimeDist;
@@ -30,6 +33,7 @@ use umanycore::cluster::ClusterNetConfig;
 use umanycore::experiments::cluster::ClusterScale;
 use umanycore::experiments::{motivation, parallel, Scale};
 use umanycore::report::RunReport;
+use umanycore::system::ArrivalProcess;
 use umanycore::{
     ClusterConfig, ClusterReport, ClusterSim, RoutingPolicy, SimConfig, SystemSim, Workload,
 };
@@ -302,6 +306,28 @@ pub struct NamedMachine {
     pub machine: MachineSpec,
 }
 
+/// One autoscaling configuration of an [`ScenarioKind::Autoscale`] row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AutoscaleConfig {
+    /// Row label, e.g. `autoscale + snapshot pool`.
+    pub name: String,
+    /// Instance autoscaling on village overload.
+    pub autoscale: bool,
+    /// Snapshot memory pool backing instance boots (cold boots when off).
+    pub pool: bool,
+}
+
+/// A workload row of an [`ScenarioKind::SrptAblation`] sweep.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NamedWorkload {
+    /// Row label, e.g. `HeavyTail`.
+    pub name: String,
+    /// The workload under that label.
+    pub workload: WorkloadSpec,
+    /// Offered loads swept for this workload, requests per second.
+    pub loads: Vec<f64>,
+}
+
 /// A mitigation policy axis value of a [`GridSpec`].
 #[derive(Clone, Debug, PartialEq)]
 pub struct NamedPolicy {
@@ -356,6 +382,35 @@ pub enum ScenarioKind {
     ClusterTail {
         /// Offered loads per node swept, requests per second.
         loads: Vec<f64>,
+    },
+    /// The abstract's headline comparison: several machines across a load
+    /// sweep, with the first-vs-last geomean latency ratios as the
+    /// headline (the `cluster10` table).
+    MachineCompare {
+        /// Offered loads swept, requests per second per server.
+        loads: Vec<f64>,
+        /// Machine rows, in display order; the headline ratios divide the
+        /// first row's latency by the last row's.
+        machines: Vec<NamedMachine>,
+    },
+    /// Autoscaling under bursty (MMPP) arrivals: pool-backed vs cold
+    /// instance boots vs none (the `autoscale` table).
+    Autoscale {
+        /// Offered load, requests per second per server.
+        rps: f64,
+        /// Arrival-horizon multiplier over [`ScaleSpec::horizon_us`], so
+        /// every configuration samples several burst cycles while
+        /// `UM_SCALE=quick` still composes.
+        horizon_factor: f64,
+        /// Configurations, in display order.
+        configs: Vec<AutoscaleConfig>,
+    },
+    /// FCFS vs SRPT dequeue on the hardware RQ, per workload and load
+    /// (the `ablation_srpt` table). Each point runs both policies on a
+    /// shared seed so the ratio stays paired.
+    SrptAblation {
+        /// Workload rows; each sweeps its own load list.
+        workloads: Vec<NamedWorkload>,
     },
     /// The generic `um-sweep` grid.
     Grid(GridSpec),
@@ -510,6 +565,27 @@ fn validate_fault(path: &str, f: &FaultRecipe) -> Result<(), String> {
     }
 }
 
+fn validate_workload(path: &str, w: &WorkloadSpec) -> Result<(), String> {
+    if let WorkloadSpec::Synthetic {
+        mean_us,
+        scv,
+        min_rpcs,
+        max_rpcs,
+    } = *w
+    {
+        check(mean_us.is_finite() && mean_us > 0.0, || {
+            format!("{path}.mean_us: must be a positive time")
+        })?;
+        check(scv.is_finite() && scv > 0.0, || {
+            format!("{path}.scv: must be positive")
+        })?;
+        check(min_rpcs <= max_rpcs, || {
+            format!("{path}.min_rpcs: must not exceed max_rpcs")
+        })?;
+    }
+    Ok(())
+}
+
 fn validate_loads(path: &str, loads: &[f64]) -> Result<(), String> {
     check(!loads.is_empty(), || format!("{path}: must not be empty"))?;
     check(loads.iter().all(|&l| l.is_finite() && l > 0.0), || {
@@ -554,23 +630,7 @@ impl Scenario {
             "scenario.scale.seed: must stay below 2^53 (JSON-exact)".to_string()
         })?;
         validate_machine("scenario.machine", &self.machine)?;
-        if let WorkloadSpec::Synthetic {
-            mean_us,
-            scv,
-            min_rpcs,
-            max_rpcs,
-        } = self.workload
-        {
-            check(mean_us.is_finite() && mean_us > 0.0, || {
-                "scenario.workload.mean_us: must be a positive time".to_string()
-            })?;
-            check(scv.is_finite() && scv > 0.0, || {
-                "scenario.workload.scv: must be positive".to_string()
-            })?;
-            check(min_rpcs <= max_rpcs, || {
-                "scenario.workload.min_rpcs: must not exceed max_rpcs".to_string()
-            })?;
-        }
+        validate_workload("scenario.workload", &self.workload)?;
         validate_mitigation("scenario.mitigation", &self.mitigation)?;
         for (i, f) in self.faults.iter().enumerate() {
             validate_fault(&format!("scenario.faults[{i}]"), f)?;
@@ -680,6 +740,58 @@ impl Scenario {
                 check(self.cluster.is_some(), || {
                     "scenario.cluster: required by the cluster-tail kind".to_string()
                 })
+            }
+            ScenarioKind::MachineCompare { loads, machines } => {
+                validate_loads("scenario.kind.loads", loads)?;
+                check(machines.len() >= 2, || {
+                    "scenario.kind.machines: need at least two rows (the headline ratios \
+                     divide the first row by the last)"
+                        .to_string()
+                })?;
+                for (i, m) in machines.iter().enumerate() {
+                    check(!m.name.is_empty(), || {
+                        format!("scenario.kind.machines[{i}].name: must not be empty")
+                    })?;
+                    validate_machine(&format!("scenario.kind.machines[{i}].machine"), &m.machine)?;
+                }
+                Ok(())
+            }
+            ScenarioKind::Autoscale {
+                rps,
+                horizon_factor,
+                configs,
+            } => {
+                check(rps.is_finite() && *rps > 0.0, || {
+                    "scenario.kind.rps: must be a positive rate".to_string()
+                })?;
+                check(horizon_factor.is_finite() && *horizon_factor >= 1.0, || {
+                    "scenario.kind.horizon_factor: must be a finite factor >= 1".to_string()
+                })?;
+                check(!configs.is_empty(), || {
+                    "scenario.kind.configs: must not be empty".to_string()
+                })?;
+                for (i, c) in configs.iter().enumerate() {
+                    check(!c.name.is_empty(), || {
+                        format!("scenario.kind.configs[{i}].name: must not be empty")
+                    })?;
+                }
+                Ok(())
+            }
+            ScenarioKind::SrptAblation { workloads } => {
+                check(!workloads.is_empty(), || {
+                    "scenario.kind.workloads: must not be empty".to_string()
+                })?;
+                for (i, w) in workloads.iter().enumerate() {
+                    check(!w.name.is_empty(), || {
+                        format!("scenario.kind.workloads[{i}].name: must not be empty")
+                    })?;
+                    validate_workload(
+                        &format!("scenario.kind.workloads[{i}].workload"),
+                        &w.workload,
+                    )?;
+                    validate_loads(&format!("scenario.kind.workloads[{i}].loads"), &w.loads)?;
+                }
+                Ok(())
             }
             ScenarioKind::Grid(g) => {
                 validate_loads("scenario.kind.loads", g.loads.as_slice())?;
@@ -902,6 +1014,73 @@ impl Scenario {
                     }
                 }
             }
+            ScenarioKind::MachineCompare { loads, machines } => {
+                // The machines at one load share the seed so the
+                // headline ratios stay paired.
+                for &rps in loads {
+                    for m in machines {
+                        points.push(node_point(SimConfig {
+                            machine: m.machine.build(),
+                            workload: self.workload.build(),
+                            rps_per_server: rps,
+                            servers: scale.servers,
+                            horizon_us: scale.horizon_us,
+                            warmup_us: scale.warmup_us,
+                            seed: scale.seed,
+                            fault_plan: self.point_plan(scale.seed),
+                            ..SimConfig::default()
+                        }));
+                    }
+                }
+            }
+            ScenarioKind::Autoscale {
+                rps,
+                horizon_factor,
+                configs,
+            } => {
+                for cfg in configs {
+                    let mut machine = self.machine.build();
+                    machine.memory_pool = cfg.pool;
+                    points.push(node_point(SimConfig {
+                        machine,
+                        workload: self.workload.build(),
+                        rps_per_server: *rps,
+                        servers: scale.servers,
+                        // Multiply at expansion so UM_SCALE=quick
+                        // composes: quick sets the base horizon, the
+                        // kind stretches it over several burst cycles.
+                        horizon_us: scale.horizon_us * *horizon_factor,
+                        warmup_us: scale.warmup_us,
+                        seed: scale.seed,
+                        arrivals: ArrivalProcess::Bursty,
+                        autoscale: cfg.autoscale,
+                        fault_plan: self.point_plan(scale.seed),
+                        ..SimConfig::default()
+                    }));
+                }
+            }
+            ScenarioKind::SrptAblation { workloads } => {
+                // Both policies of one (workload, load) point share the
+                // seed, so the SRPT/FCFS ratio is paired.
+                for w in workloads {
+                    for &rps in &w.loads {
+                        for policy in [DequeuePolicy::Fcfs, DequeuePolicy::Srpt] {
+                            points.push(node_point(SimConfig {
+                                machine: self.machine.build(),
+                                workload: w.workload.build(),
+                                rps_per_server: rps,
+                                servers: scale.servers,
+                                horizon_us: scale.horizon_us,
+                                warmup_us: scale.warmup_us,
+                                seed: scale.seed,
+                                dequeue_policy: policy,
+                                fault_plan: self.point_plan(scale.seed),
+                                ..SimConfig::default()
+                            }));
+                        }
+                    }
+                }
+            }
             ScenarioKind::Grid(g) => {
                 if g.nodes.is_empty() {
                     for (li, &rps) in g.loads.iter().enumerate() {
@@ -1002,7 +1181,7 @@ pub struct ScenarioOutput {
 ///
 /// Returns the first validation violation.
 pub fn run(s: &Scenario) -> Result<ScenarioOutput, String> {
-    run_impl(s, None)
+    run_impl(s, None, None)
 }
 
 /// [`run`] with an explicit worker count; results are bit-identical at
@@ -1012,14 +1191,43 @@ pub fn run(s: &Scenario) -> Result<ScenarioOutput, String> {
 ///
 /// Returns the first validation violation.
 pub fn run_with_threads(s: &Scenario, threads: usize) -> Result<ScenarioOutput, String> {
-    run_impl(s, Some(threads))
+    run_impl(s, Some(threads), None)
 }
 
-fn run_impl(s: &Scenario, threads: Option<usize>) -> Result<ScenarioOutput, String> {
+/// [`run`] with a progress callback, invoked once per completed point
+/// with `(completed, total)`. The callback runs on the sweep worker
+/// threads, possibly concurrently; completion order is nondeterministic
+/// but the result is still bit-identical at any `UM_THREADS`.
+///
+/// # Errors
+///
+/// Returns the first validation violation.
+pub fn run_with_progress(
+    s: &Scenario,
+    on_progress: &(dyn Fn(usize, usize) + Sync),
+) -> Result<ScenarioOutput, String> {
+    run_impl(s, None, Some(on_progress))
+}
+
+fn run_impl(
+    s: &Scenario,
+    threads: Option<usize>,
+    progress: Option<&(dyn Fn(usize, usize) + Sync)>,
+) -> Result<ScenarioOutput, String> {
     let points = s.expand()?;
-    let eval = |_: usize, p: PointConfig| match p {
-        PointConfig::Node(cfg) => PointReport::Node(Box::new(SystemSim::new(*cfg).run())),
-        PointConfig::Cluster(cfg) => PointReport::Cluster(Box::new(ClusterSim::new(*cfg).run())),
+    let total = points.len();
+    let completed = AtomicUsize::new(0);
+    let eval = |_: usize, p: PointConfig| {
+        let report = match p {
+            PointConfig::Node(cfg) => PointReport::Node(Box::new(SystemSim::new(*cfg).run())),
+            PointConfig::Cluster(cfg) => {
+                PointReport::Cluster(Box::new(ClusterSim::new(*cfg).run()))
+            }
+        };
+        if let Some(cb) = progress {
+            cb(completed.fetch_add(1, Ordering::Relaxed) + 1, total);
+        }
+        report
     };
     let reports = match threads {
         Some(n) => parallel::map_with_threads(n, points, eval),
@@ -1032,6 +1240,11 @@ fn run_impl(s: &Scenario, threads: Option<usize>) -> Result<ScenarioOutput, Stri
             rps, drop_rates, ..
         } => render_fault_tail(*rps, drop_rates, &reports),
         ScenarioKind::ClusterTail { loads } => render_cluster_tail(s, loads, &reports),
+        ScenarioKind::MachineCompare { loads, machines } => {
+            render_machine_compare(s, loads, machines, &reports)
+        }
+        ScenarioKind::Autoscale { configs, .. } => render_autoscale(configs, &reports),
+        ScenarioKind::SrptAblation { workloads } => render_srpt_ablation(workloads, &reports),
         ScenarioKind::Grid(g) => render_grid(s, g, &reports),
     })
 }
@@ -1205,6 +1418,133 @@ fn render_cluster_tail(s: &Scenario, loads: &[f64], reports: &[PointReport]) -> 
          and every policy ties; past ~0.9 utilization JSQ(2) tracks the central\n\
          queue while random routing pays at the p99 — the uqSim/CloudNativeSim-style\n\
          cluster result, with a many-core package (not a single worker) per node.\n",
+    );
+    ScenarioOutput {
+        text: out,
+        points: None,
+    }
+}
+
+fn render_machine_compare(
+    s: &Scenario,
+    loads: &[f64],
+    machines: &[NamedMachine],
+    reports: &[PointReport],
+) -> ScenarioOutput {
+    let mut out = header_text(
+        &format!("Cluster of {} servers", s.scale.servers),
+        &format!(
+            "End-to-end latency of {}-server clusters under the SocialNetwork mix.",
+            s.scale.servers
+        ),
+    );
+    let mut t = Table::with_columns(&["machine", "load", "avg (us)", "p99 (us)", "cluster util"]);
+    let mut avg_ratio = Vec::new();
+    let mut tail_ratio = Vec::new();
+    for (&rps, chunk) in loads.iter().zip(reports.chunks_exact(machines.len())) {
+        for (m, r) in machines.iter().zip(chunk) {
+            let r = r.node();
+            t.row(vec![
+                m.name.clone(),
+                format!("{:.0}K/srv", rps / 1000.0),
+                f1(r.latency.mean),
+                f1(r.latency.p99),
+                format!("{:.3}", r.utilization),
+            ]);
+        }
+        let first = chunk
+            .first()
+            .expect("validated: two or more machines")
+            .node();
+        let last = chunk
+            .last()
+            .expect("validated: two or more machines")
+            .node();
+        avg_ratio.push(first.latency.mean / last.latency.mean);
+        tail_ratio.push(first.latency.p99 / last.latency.p99);
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+    out.push_str(&format!(
+        "uManycore cluster vs iso-power ServerClass cluster: {:.1}x lower average,\n\
+         {:.1}x lower tail (paper: 3.7x and 10.4x)\n",
+        geomean(&avg_ratio),
+        geomean(&tail_ratio)
+    ));
+    ScenarioOutput {
+        text: out,
+        points: None,
+    }
+}
+
+fn render_autoscale(configs: &[AutoscaleConfig], reports: &[PointReport]) -> ScenarioOutput {
+    let mut out = header_text(
+        "Autoscaling with snapshot pools",
+        "Bursty (MMPP) SocialNetwork traffic on uManycore; small 8-entry RQs so\n\
+         bursts overflow a single instance.",
+    );
+    let mut t = Table::with_columns(&[
+        "configuration",
+        "avg (us)",
+        "p99 (us)",
+        "boots",
+        "RQ overflows",
+    ]);
+    for (c, r) in configs.iter().zip(reports) {
+        let r = r.node();
+        t.row(vec![
+            c.name.clone(),
+            f1(r.latency.mean),
+            f1(r.latency.p99),
+            r.instance_boots.to_string(),
+            r.rq_overflows.to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+    out.push_str(
+        "paper: snapshots cut instance boot from >300 ms to <10 ms (§3.5), which\n\
+         is what lets the system absorb the Figure 2 bursts without tail spikes.\n",
+    );
+    ScenarioOutput {
+        text: out,
+        points: None,
+    }
+}
+
+fn render_srpt_ablation(workloads: &[NamedWorkload], reports: &[PointReport]) -> ScenarioOutput {
+    let mut out = header_text(
+        "Ablation: FCFS vs SRPT",
+        "Tail latency of the uManycore hardware RQ under both dequeue policies.",
+    );
+    let mut t = Table::with_columns(&[
+        "workload",
+        "load",
+        "FCFS tail (us)",
+        "SRPT tail (us)",
+        "SRPT/FCFS",
+    ]);
+    let mut it = reports.iter();
+    for w in workloads {
+        for &rps in &w.loads {
+            let fcfs = it.next().expect("one report per policy").node().latency.p99;
+            let srpt = it.next().expect("one report per policy").node().latency.p99;
+            t.row(vec![
+                w.name.clone(),
+                format!("{:.0}K", rps / 1000.0),
+                f1(fcfs),
+                f1(srpt),
+                format!("{:.2}", srpt / fcfs),
+            ]);
+        }
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+    out.push_str(
+        "paper claim (§4.3): SRPT is unlikely to improve over FCFS for\n\
+         microservices. At evaluation loads the village queues stay shallow and\n\
+         the policies coincide (ratio 1.00); near saturation SRPT actively\n\
+         *hurts* the P99 by starving long requests. FCFS is the right choice.\n",
     );
     ScenarioOutput {
         text: out,
@@ -1569,6 +1909,20 @@ fn fault_to_json(f: &FaultRecipe) -> Json {
     }
 }
 
+fn named_machines_to_json(machines: &[NamedMachine]) -> Json {
+    Json::Arr(
+        machines
+            .iter()
+            .map(|m| {
+                obj(vec![
+                    ("name", Json::Str(m.name.clone())),
+                    ("machine", machine_to_json(&m.machine)),
+                ])
+            })
+            .collect(),
+    )
+}
+
 fn kind_to_json(k: &ScenarioKind) -> Json {
     match k {
         ScenarioKind::Fig7 { loads } => obj(vec![
@@ -1581,20 +1935,7 @@ fn kind_to_json(k: &ScenarioKind) -> Json {
         ScenarioKind::Breakdown { rps, machines } => obj(vec![
             ("type", Json::Str("breakdown".into())),
             ("rps", num_json(*rps)),
-            (
-                "machines",
-                Json::Arr(
-                    machines
-                        .iter()
-                        .map(|m| {
-                            obj(vec![
-                                ("name", Json::Str(m.name.clone())),
-                                ("machine", machine_to_json(&m.machine)),
-                            ])
-                        })
-                        .collect(),
-                ),
-            ),
+            ("machines", named_machines_to_json(machines)),
         ]),
         ScenarioKind::FaultTail {
             rps,
@@ -1614,6 +1955,59 @@ fn kind_to_json(k: &ScenarioKind) -> Json {
             (
                 "loads",
                 Json::Arr(loads.iter().map(|&l| num_json(l)).collect()),
+            ),
+        ]),
+        ScenarioKind::MachineCompare { loads, machines } => obj(vec![
+            ("type", Json::Str("machine-compare".into())),
+            (
+                "loads",
+                Json::Arr(loads.iter().map(|&l| num_json(l)).collect()),
+            ),
+            ("machines", named_machines_to_json(machines)),
+        ]),
+        ScenarioKind::Autoscale {
+            rps,
+            horizon_factor,
+            configs,
+        } => obj(vec![
+            ("type", Json::Str("autoscale".into())),
+            ("rps", num_json(*rps)),
+            ("horizon_factor", num_json(*horizon_factor)),
+            (
+                "configs",
+                Json::Arr(
+                    configs
+                        .iter()
+                        .map(|c| {
+                            obj(vec![
+                                ("name", Json::Str(c.name.clone())),
+                                ("autoscale", Json::Bool(c.autoscale)),
+                                ("pool", Json::Bool(c.pool)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
+        ScenarioKind::SrptAblation { workloads } => obj(vec![
+            ("type", Json::Str("srpt-ablation".into())),
+            (
+                "workloads",
+                Json::Arr(
+                    workloads
+                        .iter()
+                        .map(|w| {
+                            obj(vec![
+                                ("name", Json::Str(w.name.clone())),
+                                ("workload", workload_to_json(&w.workload)),
+                                (
+                                    "loads",
+                                    Json::Arr(w.loads.iter().map(|&l| num_json(l)).collect()),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
             ),
         ]),
         ScenarioKind::Grid(g) => obj(vec![
@@ -2052,6 +2446,24 @@ fn fault_from_json(v: &Json, path: &str) -> Result<FaultRecipe, String> {
     }
 }
 
+fn named_machines_from_json(v: &Json, path: &str) -> Result<Vec<NamedMachine>, String> {
+    p_arr(v, path)?
+        .iter()
+        .enumerate()
+        .map(|(i, m)| {
+            let mpath = format!("{path}[{i}]");
+            p_obj(m, &mpath, &["name", "machine"])?;
+            Ok(NamedMachine {
+                name: p_str(p_get(m, &mpath, "name")?, &format!("{mpath}.name"))?,
+                machine: machine_from_json(
+                    p_get(m, &mpath, "machine")?,
+                    &format!("{mpath}.machine"),
+                )?,
+            })
+        })
+        .collect()
+}
+
 fn kind_from_json(v: &Json, path: &str) -> Result<ScenarioKind, String> {
     let kind = p_str(p_get(v, path, "type")?, &format!("{path}.type"))?;
     match kind.as_str() {
@@ -2063,24 +2475,12 @@ fn kind_from_json(v: &Json, path: &str) -> Result<ScenarioKind, String> {
         }
         "breakdown" => {
             p_obj(v, path, &["type", "rps", "machines"])?;
-            let machines = p_arr(p_get(v, path, "machines")?, &format!("{path}.machines"))?
-                .iter()
-                .enumerate()
-                .map(|(i, m)| {
-                    let mpath = format!("{path}.machines[{i}]");
-                    p_obj(m, &mpath, &["name", "machine"])?;
-                    Ok(NamedMachine {
-                        name: p_str(p_get(m, &mpath, "name")?, &format!("{mpath}.name"))?,
-                        machine: machine_from_json(
-                            p_get(m, &mpath, "machine")?,
-                            &format!("{mpath}.machine"),
-                        )?,
-                    })
-                })
-                .collect::<Result<Vec<_>, String>>()?;
             Ok(ScenarioKind::Breakdown {
                 rps: p_num(p_get(v, path, "rps")?, &format!("{path}.rps"))?,
-                machines,
+                machines: named_machines_from_json(
+                    p_get(v, path, "machines")?,
+                    &format!("{path}.machines"),
+                )?,
             })
         }
         "fault-tail" => {
@@ -2102,6 +2502,63 @@ fn kind_from_json(v: &Json, path: &str) -> Result<ScenarioKind, String> {
             Ok(ScenarioKind::ClusterTail {
                 loads: p_f64_arr(p_get(v, path, "loads")?, &format!("{path}.loads"))?,
             })
+        }
+        "machine-compare" => {
+            p_obj(v, path, &["type", "loads", "machines"])?;
+            Ok(ScenarioKind::MachineCompare {
+                loads: p_f64_arr(p_get(v, path, "loads")?, &format!("{path}.loads"))?,
+                machines: named_machines_from_json(
+                    p_get(v, path, "machines")?,
+                    &format!("{path}.machines"),
+                )?,
+            })
+        }
+        "autoscale" => {
+            p_obj(v, path, &["type", "rps", "horizon_factor", "configs"])?;
+            let configs = p_arr(p_get(v, path, "configs")?, &format!("{path}.configs"))?
+                .iter()
+                .enumerate()
+                .map(|(i, c)| {
+                    let cpath = format!("{path}.configs[{i}]");
+                    p_obj(c, &cpath, &["name", "autoscale", "pool"])?;
+                    Ok(AutoscaleConfig {
+                        name: p_str(p_get(c, &cpath, "name")?, &format!("{cpath}.name"))?,
+                        autoscale: p_bool(
+                            p_get(c, &cpath, "autoscale")?,
+                            &format!("{cpath}.autoscale"),
+                        )?,
+                        pool: p_bool(p_get(c, &cpath, "pool")?, &format!("{cpath}.pool"))?,
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+            Ok(ScenarioKind::Autoscale {
+                rps: p_num(p_get(v, path, "rps")?, &format!("{path}.rps"))?,
+                horizon_factor: p_num(
+                    p_get(v, path, "horizon_factor")?,
+                    &format!("{path}.horizon_factor"),
+                )?,
+                configs,
+            })
+        }
+        "srpt-ablation" => {
+            p_obj(v, path, &["type", "workloads"])?;
+            let workloads = p_arr(p_get(v, path, "workloads")?, &format!("{path}.workloads"))?
+                .iter()
+                .enumerate()
+                .map(|(i, w)| {
+                    let wpath = format!("{path}.workloads[{i}]");
+                    p_obj(w, &wpath, &["name", "workload", "loads"])?;
+                    Ok(NamedWorkload {
+                        name: p_str(p_get(w, &wpath, "name")?, &format!("{wpath}.name"))?,
+                        workload: workload_from_json(
+                            p_get(w, &wpath, "workload")?,
+                            &format!("{wpath}.workload"),
+                        )?,
+                        loads: p_f64_arr(p_get(w, &wpath, "loads")?, &format!("{wpath}.loads"))?,
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+            Ok(ScenarioKind::SrptAblation { workloads })
         }
         "grid" => {
             p_obj(v, path, &["type", "loads", "seeds", "nodes", "policies"])?;
@@ -2324,6 +2781,121 @@ pub mod registry {
         }
     }
 
+    /// The abstract's headline experiment: 10-server clusters of the
+    /// four paper machines, committed as `results/cluster10.txt`.
+    pub fn cluster10() -> Scenario {
+        Scenario {
+            name: "cluster10".to_string(),
+            machine: MachineSpec::of(MachineBase::Umanycore),
+            workload: WorkloadSpec::SocialMix,
+            scale: ScaleSpec {
+                servers: 10,
+                ..ScaleSpec::full()
+            },
+            faults: Vec::new(),
+            mitigation: MitigationSpec::default(),
+            cluster: None,
+            kind: ScenarioKind::MachineCompare {
+                loads: vec![5_000.0, 10_000.0, 15_000.0],
+                machines: vec![
+                    NamedMachine {
+                        name: "ServerClass-40".to_string(),
+                        machine: MachineSpec::of(MachineBase::ServerClassIsoPower),
+                    },
+                    NamedMachine {
+                        name: "ServerClass-128".to_string(),
+                        machine: MachineSpec::of(MachineBase::ServerClassIsoArea),
+                    },
+                    NamedMachine {
+                        name: "ScaleOut".to_string(),
+                        machine: MachineSpec::of(MachineBase::Scaleout),
+                    },
+                    NamedMachine {
+                        name: "uManycore".to_string(),
+                        machine: MachineSpec::of(MachineBase::Umanycore),
+                    },
+                ],
+            },
+        }
+    }
+
+    /// Autoscaling under bursts: the snapshot memory pool in the request
+    /// path, committed as `results/autoscale.txt`.
+    pub fn autoscale() -> Scenario {
+        Scenario {
+            name: "autoscale".to_string(),
+            machine: MachineSpec {
+                // Small RQs so bursts overflow a single instance.
+                rq_capacity: Some(8),
+                ..MachineSpec::of(MachineBase::Umanycore)
+            },
+            workload: WorkloadSpec::SocialMix,
+            scale: ScaleSpec::full(),
+            faults: Vec::new(),
+            mitigation: MitigationSpec::default(),
+            cluster: None,
+            kind: ScenarioKind::Autoscale {
+                rps: 160_000.0,
+                // The MMPP dwells ~220 ms low and ~30 ms bursting, so one
+                // scale unit (200 ms) samples roughly one burst cycle and
+                // the comparison would hinge on whether it happens to
+                // burst. Run 5x longer so every configuration sees
+                // several bursts regardless of the seed.
+                horizon_factor: 5.0,
+                configs: vec![
+                    AutoscaleConfig {
+                        name: "no autoscaling".to_string(),
+                        autoscale: false,
+                        pool: true,
+                    },
+                    AutoscaleConfig {
+                        name: "autoscale, cold boots".to_string(),
+                        autoscale: true,
+                        pool: false,
+                    },
+                    AutoscaleConfig {
+                        name: "autoscale + snapshot pool".to_string(),
+                        autoscale: true,
+                        pool: true,
+                    },
+                ],
+            },
+        }
+    }
+
+    /// FCFS vs SRPT dequeue (paper §4.3), committed as
+    /// `results/ablation_srpt.txt`.
+    pub fn ablation_srpt() -> Scenario {
+        Scenario {
+            name: "ablation_srpt".to_string(),
+            machine: MachineSpec::of(MachineBase::Umanycore),
+            workload: WorkloadSpec::SocialMix,
+            scale: ScaleSpec::full(),
+            faults: Vec::new(),
+            mitigation: MitigationSpec::default(),
+            cluster: None,
+            kind: ScenarioKind::SrptAblation {
+                workloads: vec![
+                    NamedWorkload {
+                        name: "SocialMix".to_string(),
+                        workload: WorkloadSpec::SocialMix,
+                        loads: vec![200_000.0, 1_200_000.0],
+                    },
+                    NamedWorkload {
+                        name: "HeavyTail".to_string(),
+                        workload: WorkloadSpec::Synthetic {
+                            mean_us: 400.0,
+                            scv: 9.0,
+                            min_rpcs: 2,
+                            max_rpcs: 6,
+                        },
+                        loads: vec![200_000.0, 1_000_000.0],
+                    },
+                ],
+            },
+        }
+    }
+
     /// The default `um-sweep` grid: 4 loads x 3 mitigation policies x 2
     /// seeds (24 points) on a uManycore under 1% message loss.
     pub fn sweep_default() -> Scenario {
@@ -2375,6 +2947,9 @@ pub mod registry {
             breakdown(),
             fault_tail(),
             cluster_tail(),
+            cluster10(),
+            autoscale(),
+            ablation_srpt(),
             sweep_default(),
         ]
     }

@@ -14,8 +14,12 @@
 
 use um_arch::config::MachineConfig;
 use um_bench::scenario::{self, registry, ScaleSpec, Scenario, ScenarioKind};
+use um_sched::DequeuePolicy;
+use um_workload::synthetic::SyntheticWorkload;
+use um_workload::ServiceTimeDist;
 use umanycore::experiments::cluster::ClusterScale;
 use umanycore::experiments::{cluster, motivation, resilience, Scale};
+use umanycore::system::ArrivalProcess;
 use umanycore::{SimConfig, Workload};
 
 /// Applies `UM_SCALE=quick` semantics without touching the environment
@@ -108,6 +112,110 @@ fn cluster_tail_expands_to_the_legacy_config_list() {
     assert_eq!(ours, legacy);
 }
 
+#[test]
+fn cluster10_expands_to_the_legacy_config_list() {
+    let s = quick(registry::cluster10());
+    // The legacy binary set `scale.servers = 10` after `scale_from_env`
+    // and swept loads x the four paper machines, all on the master seed.
+    let scale = Scale {
+        servers: 10,
+        ..Scale::quick()
+    };
+    let legacy: Vec<String> = [5_000.0, 10_000.0, 15_000.0]
+        .iter()
+        .flat_map(|&rps| {
+            [
+                MachineConfig::server_class_iso_power(),
+                MachineConfig::server_class_iso_area(),
+                MachineConfig::scaleout(),
+                MachineConfig::umanycore(),
+            ]
+            .map(|machine| {
+                format!(
+                    "{:?}",
+                    SimConfig {
+                        machine,
+                        workload: Workload::social_mix(),
+                        rps_per_server: rps,
+                        servers: scale.servers,
+                        horizon_us: scale.horizon_us,
+                        warmup_us: scale.warmup_us,
+                        seed: scale.seed,
+                        ..SimConfig::default()
+                    }
+                )
+            })
+        })
+        .collect();
+    assert_eq!(node_debugs(&s), legacy);
+}
+
+#[test]
+fn autoscale_expands_to_the_legacy_config_list() {
+    let s = quick(registry::autoscale());
+    let scale = Scale::quick();
+    let legacy: Vec<String> = [(false, true), (true, false), (true, true)]
+        .into_iter()
+        .map(|(autoscale, pool)| {
+            let mut machine = MachineConfig::umanycore();
+            machine.memory_pool = pool;
+            machine.rq_capacity = 8;
+            format!(
+                "{:?}",
+                SimConfig {
+                    machine,
+                    workload: Workload::social_mix(),
+                    rps_per_server: 160_000.0,
+                    servers: scale.servers,
+                    horizon_us: scale.horizon_us * 5.0,
+                    warmup_us: scale.warmup_us,
+                    seed: scale.seed,
+                    arrivals: ArrivalProcess::Bursty,
+                    autoscale,
+                    ..SimConfig::default()
+                }
+            )
+        })
+        .collect();
+    assert_eq!(node_debugs(&s), legacy);
+}
+
+#[test]
+fn ablation_srpt_expands_to_the_legacy_config_list() {
+    let s = quick(registry::ablation_srpt());
+    let scale = Scale::quick();
+    let heavy = Workload::Synthetic(SyntheticWorkload::new(
+        ServiceTimeDist::lognormal_with_mean(400.0, 9.0),
+        2,
+        6,
+    ));
+    let mut legacy = Vec::new();
+    for (workload, loads) in [
+        (Workload::social_mix(), [200_000.0, 1_200_000.0]),
+        (heavy, [200_000.0, 1_000_000.0]),
+    ] {
+        for rps in loads {
+            for policy in [DequeuePolicy::Fcfs, DequeuePolicy::Srpt] {
+                legacy.push(format!(
+                    "{:?}",
+                    SimConfig {
+                        machine: MachineConfig::umanycore(),
+                        workload: workload.clone(),
+                        rps_per_server: rps,
+                        servers: scale.servers,
+                        horizon_us: scale.horizon_us,
+                        warmup_us: scale.warmup_us,
+                        seed: scale.seed,
+                        dequeue_policy: policy,
+                        ..SimConfig::default()
+                    }
+                ));
+            }
+        }
+    }
+    assert_eq!(node_debugs(&s), legacy);
+}
+
 // -----------------------------------------------------------------
 // Thread identity: byte-identical text at UM_THREADS ∈ {1, 4}
 // -----------------------------------------------------------------
@@ -164,6 +272,32 @@ fn cluster_tail_text_is_bit_identical_across_thread_counts() {
         *loads = vec![60_000.0];
     }
     s.cluster.as_mut().expect("cluster scenario").nodes = 4;
+    assert_thread_identical(&s);
+}
+
+#[test]
+fn cluster10_text_is_bit_identical_across_thread_counts() {
+    let mut s = tiny(registry::cluster10(), 5_000.0);
+    if let ScenarioKind::MachineCompare { loads, .. } = &mut s.kind {
+        loads.truncate(1);
+    }
+    assert_thread_identical(&s);
+}
+
+#[test]
+fn autoscale_text_is_bit_identical_across_thread_counts() {
+    // horizon_factor 5 stretches this to 10 ms of bursty arrivals.
+    assert_thread_identical(&tiny(registry::autoscale(), 2_000.0));
+}
+
+#[test]
+fn ablation_srpt_text_is_bit_identical_across_thread_counts() {
+    let mut s = tiny(registry::ablation_srpt(), 3_000.0);
+    if let ScenarioKind::SrptAblation { workloads } = &mut s.kind {
+        for w in workloads {
+            w.loads.truncate(1);
+        }
+    }
     assert_thread_identical(&s);
 }
 

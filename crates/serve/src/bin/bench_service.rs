@@ -1,0 +1,140 @@
+//! Service-layer throughput: end-to-end jobs/second through `um-serve`'s
+//! whole stack — socket, HTTP parse, admission, worker pool, simulation,
+//! result fetch — at several client counts, emitted as
+//! `BENCH_service.json`.
+//!
+//! One axis — **clients**: concurrent submitters, each pushing a stream
+//! of tiny grid jobs over real loopback connections. Every job carries a
+//! unique seed, so the content-addressed cache never hits and every job
+//! pays for a real simulation; the measured rate is the service's, not
+//! the cache's. Each point gets a fresh service (cold cache, idle
+//! queue).
+//!
+//! Environment:
+//!
+//! - `UM_SCALE=quick`: CI smoke mode — fewer jobs per client.
+//! - `UM_BENCH_OUT`: output path (default `BENCH_service.json`).
+
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+use um_bench::benchjson::{obj, rounded, validate_bench, Json};
+use um_bench::scenario::{self, ScenarioKind};
+use um_serve::client;
+use um_serve::server;
+use um_serve::service::{JobService, ServiceConfig};
+
+const CLIENT_AXIS: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+/// A one-point grid job: small enough that the service overhead is a
+/// visible fraction of the wall clock, real enough that each job runs an
+/// actual simulation.
+fn tiny_job(seed: u64) -> String {
+    let mut s = scenario::registry::sweep_default();
+    s.scale.horizon_us = 2_000.0;
+    s.scale.warmup_us = 200.0;
+    if let ScenarioKind::Grid(g) = &mut s.kind {
+        g.loads = vec![2_000.0];
+        g.seeds = vec![seed];
+        g.policies.truncate(1);
+    }
+    s.validate().expect("tiny job is a valid scenario");
+    s.to_json_text()
+}
+
+fn main() {
+    let quick = std::env::var("UM_SCALE").is_ok_and(|s| s == "quick");
+    let jobs_per_client = if quick { 2 } else { 8 };
+    let mode = if quick { "quick" } else { "full" };
+    um_bench::sanitizer_check();
+    eprintln!(
+        "bench_service: end-to-end job throughput, {mode} scale, {jobs_per_client} jobs/client"
+    );
+
+    let mut points = Vec::new();
+    for clients in CLIENT_AXIS {
+        // Fresh service per point: cold cache, empty queue, enough
+        // admission room that no submission bounces.
+        let service = JobService::new(ServiceConfig {
+            workers: um_serve::service::default_workers(),
+            queue_depth: clients * jobs_per_client + 1,
+            retry_after_secs: 1,
+        });
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = server::spawn(listener, Arc::clone(&service));
+
+        let start = Instant::now();
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                thread::spawn(move || {
+                    for j in 0..jobs_per_client {
+                        let seed = 1_000 + (c * jobs_per_client + j) as u64;
+                        let resp = client::request(addr, "POST", "/jobs", Some(&tiny_job(seed)))
+                            .expect("submit over loopback");
+                        assert_eq!(resp.status, 200, "submit failed: {}", resp.body);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("client thread");
+        }
+        let jobs = (clients * jobs_per_client) as u64;
+        for id in 1..=jobs {
+            service.wait_done(id).expect("submitted job exists");
+        }
+        let wall = start.elapsed().as_secs_f64();
+
+        let stats = service.stats();
+        assert_eq!(
+            stats.cache_hits, 0,
+            "unique seeds must defeat the cache — the rate would be the cache's"
+        );
+        assert_eq!(stats.simulations_run, jobs, "every job simulates");
+        let jobs_per_sec = jobs as f64 / wall;
+        eprintln!("  clients={clients}: {jobs} jobs in {wall:.3} s, {jobs_per_sec:.1} jobs/s");
+        points.push((clients, jobs, wall, jobs_per_sec));
+    }
+
+    let (peak_clients, _, _, peak_rate) = points
+        .iter()
+        .copied()
+        .max_by(|a, b| a.3.total_cmp(&b.3))
+        .expect("points are non-empty");
+    let doc = obj(vec![
+        ("bench", Json::Str("service".into())),
+        ("scale", Json::Str(mode.into())),
+        (
+            "headline",
+            obj(vec![
+                ("clients", Json::Num(peak_clients as f64)),
+                ("jobs_per_sec", Json::Num(rounded(peak_rate, 1))),
+            ]),
+        ),
+        (
+            "points",
+            Json::Arr(
+                points
+                    .iter()
+                    .map(|&(clients, jobs, wall, rate)| {
+                        obj(vec![
+                            ("clients", Json::Num(clients as f64)),
+                            ("jobs", Json::Num(jobs as f64)),
+                            ("wall_ms", Json::Num(rounded(wall * 1_000.0, 1))),
+                            ("jobs_per_sec", Json::Num(rounded(rate, 1))),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    validate_bench(&doc).expect("bench_service emits the BENCH_*.json envelope");
+    let json = doc.render();
+
+    let out = std::env::var("UM_BENCH_OUT").unwrap_or_else(|_| "BENCH_service.json".to_string());
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    print!("{json}");
+    eprintln!("bench_service: wrote {out} (peak {peak_rate:.1} jobs/s at {peak_clients} clients)");
+}

@@ -1,0 +1,53 @@
+//! `um-serve`: the simulation-as-a-service frontend.
+//!
+//! Binds a loopback HTTP listener, spins up the job worker pool, and
+//! serves the endpoint set documented on the crate root: submit a
+//! canonical scenario document, poll it, fetch the benchjson envelope or
+//! text table — byte-identical to what a direct `um-sweep` run prints.
+//!
+//! ```text
+//! um-serve [--port N] [--workers N] [--queue-depth N]
+//! ```
+//!
+//! Defaults: port 8080 on 127.0.0.1, `UM_THREADS` workers (available
+//! parallelism if unset), a 64-entry admission queue.
+
+use um_serve::server;
+use um_serve::service::{JobService, ServiceConfig};
+
+fn usage() -> ! {
+    eprintln!("usage: um-serve [--port N] [--workers N] [--queue-depth N]");
+    std::process::exit(2);
+}
+
+fn parse_flag<T: std::str::FromStr>(it: &mut std::slice::Iter<'_, String>, flag: &str) -> T {
+    let raw = it.next().unwrap_or_else(|| usage());
+    raw.parse().unwrap_or_else(|_| {
+        eprintln!("um-serve: bad value {raw:?} for {flag}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut port: u16 = 8080;
+    let mut config = ServiceConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--port" => port = parse_flag(&mut it, "--port"),
+            "--workers" => config.workers = parse_flag(&mut it, "--workers"),
+            "--queue-depth" => config.queue_depth = parse_flag(&mut it, "--queue-depth"),
+            _ => usage(),
+        }
+    }
+
+    um_bench::sanitizer_check();
+    let service = JobService::new(config);
+    let addr = format!("127.0.0.1:{port}");
+    println!(
+        "um-serve: listening on http://{addr} ({} workers, queue depth {})",
+        config.workers, config.queue_depth
+    );
+    server::serve(&addr, service)
+}

@@ -1,0 +1,83 @@
+//! A minimal blocking HTTP/1.1 client — just enough to exercise the
+//! service over a real socket from the integration tests and the
+//! throughput bench. The server closes every connection, so a response
+//! is simply "read to EOF".
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// A parsed response: status, headers and the body as text.
+#[derive(Debug)]
+pub struct HttpResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response headers, lower-cased names.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// The first header with this (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Performs one request and reads the full response.
+///
+/// # Errors
+///
+/// Returns a message describing the connection, I/O, or parse failure.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<HttpResponse, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    );
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(body.as_bytes()))
+        .map_err(|e| format!("write request: {e}"))?;
+
+    let mut raw = String::new();
+    stream
+        .read_to_string(&mut raw)
+        .map_err(|e| format!("read response: {e}"))?;
+    parse_response(&raw)
+}
+
+fn parse_response(raw: &str) -> Result<HttpResponse, String> {
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or("response has no header/body separator")?;
+    let mut lines = head.lines();
+    let status_line = lines.next().ok_or("empty response")?;
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad status line {status_line:?}"))?;
+    let mut headers = Vec::new();
+    for line in lines {
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| format!("malformed header {line:?}"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    Ok(HttpResponse {
+        status,
+        headers,
+        body: body.to_string(),
+    })
+}

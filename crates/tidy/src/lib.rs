@@ -105,13 +105,15 @@ pub enum Rule {
     AsyncInSim,
     /// Inline `SimConfig`/`ClusterConfig` literals in um-bench binaries.
     ScenarioInlineConfig,
+    /// Raw simulator types (`SimConfig`, `SystemSim`, …) in um-serve.
+    ServeRawConfig,
     /// Malformed or unknown `um-tidy:` directive.
     AllowSyntax,
 }
 
 impl Rule {
     /// All rules, for `--list-rules` and the allow-directive parser.
-    pub const ALL: [Rule; 17] = [
+    pub const ALL: [Rule; 18] = [
         Rule::UnorderedContainer,
         Rule::WallClock,
         Rule::UnseededRng,
@@ -128,6 +130,7 @@ impl Rule {
         Rule::EnvRead,
         Rule::AsyncInSim,
         Rule::ScenarioInlineConfig,
+        Rule::ServeRawConfig,
         Rule::AllowSyntax,
     ];
 
@@ -158,6 +161,7 @@ impl Rule {
             Rule::EnvRead => "env-read",
             Rule::AsyncInSim => "async-in-sim",
             Rule::ScenarioInlineConfig => "scenario-inline-config",
+            Rule::ServeRawConfig => "serve-raw-config",
             Rule::AllowSyntax => "allow-syntax",
         }
     }
@@ -216,12 +220,17 @@ impl Rule {
             }
             Rule::AsyncInSim => {
                 "async/tokio inside the sim core pulls executor scheduling into the \
-                 deterministic kernel; the service layer must stay outside crates/*"
+                 deterministic kernel; even um-serve serves with std threads only"
             }
             Rule::ScenarioInlineConfig => {
                 "inline SimConfig/ClusterConfig literals in um-bench binaries bypass the \
                  declarative scenario layer; express the experiment as a um_bench::scenario \
                  so it can be committed, validated and replayed as data"
+            }
+            Rule::ServeRawConfig => {
+                "um-serve must speak the public um_bench::scenario API; raw \
+                 SimConfig/SystemSim types in the service layer would let jobs drift from \
+                 what um-sweep runs and break the byte-identical-results contract"
             }
             Rule::AllowSyntax => {
                 "um-tidy directives must be `um-tidy: allow(<rule>) -- <reason>` with a \
@@ -255,6 +264,9 @@ impl Rule {
             Rule::ScenarioInlineConfig => {
                 "`SimConfig {`/`ClusterConfig {` literals (bypass the scenario layer)"
             }
+            Rule::ServeRawConfig => {
+                "`SimConfig`/`ClusterConfig`/`SystemSim`/`ClusterSim` (bypass the scenario API)"
+            }
             Rule::AllowSyntax => "malformed/unknown `um-tidy:` directives",
         }
     }
@@ -278,6 +290,7 @@ impl Rule {
             Rule::EnvRead => "sim-state crates, non-test code",
             Rule::AsyncInSim => "sim-state crates, non-test code",
             Rule::ScenarioInlineConfig => "`crates/bench/src/bin/`, non-test code",
+            Rule::ServeRawConfig => "`crates/serve`, non-test code",
             Rule::AllowSyntax => "everywhere",
         }
     }
@@ -371,15 +384,17 @@ impl FileContext {
     }
 
     /// Sim-state crates: every workspace member under `crates/` except the
-    /// bench harness (wall-clock by design) and this pass itself.
+    /// bench harness (wall-clock by design), the service layer (env-sized
+    /// worker pool, outside the determinism boundary) and this pass itself.
     fn is_sim_state_crate(&self) -> bool {
-        matches!(&self.krate, Some(k) if k != "bench" && k != "tidy")
+        matches!(&self.krate, Some(k) if k != "bench" && k != "tidy" && k != "serve")
     }
 
     /// Wall-clock and entropy rules run everywhere except `um-bench`
-    /// (Criterion interop) and this crate.
+    /// (Criterion interop), `um-serve` (throughput bench timing) and
+    /// this crate.
     fn bans_wall_clock(&self) -> bool {
-        !matches!(&self.krate, Some(k) if k == "bench" || k == "tidy")
+        !matches!(&self.krate, Some(k) if k == "bench" || k == "tidy" || k == "serve")
     }
 
     /// Raw fault-plan construction is banned outside `um-sim` (where the
@@ -739,6 +754,25 @@ fn analyze_source(rel_path: &str, source: &str) -> FileAnalysis {
                              a um_bench::scenario::Scenario (registry or JSON) and expand it, \
                              so the config list is committed, validated data",
                             pat.trim_end_matches(" {")
+                        ),
+                    ));
+                }
+            }
+        }
+
+        // -- service-layer provenance -----------------------------------
+        // um-serve exists to serve scenarios, not to run simulators by
+        // hand: jobs must go through the public um_bench::scenario API so
+        // a served result can never diverge from a direct um-sweep run.
+        if matches!(&ctx.krate, Some(k) if k == "serve") && !in_test {
+            for ty in ["SimConfig", "ClusterConfig", "SystemSim", "ClusterSim"] {
+                if contains_word(cleaned, ty) {
+                    firings.push((
+                        Rule::ServeRawConfig,
+                        format!(
+                            "raw `{ty}` in the service layer: um-serve must run jobs through \
+                             um_bench::scenario (validate/expand/run), the same path um-sweep \
+                             takes, so served results stay byte-identical to direct runs"
                         ),
                     ));
                 }
@@ -1567,6 +1601,26 @@ mod tests {
         }
         assert!(check_source("crates/sched/src/x.rs", "let asynchrony = 1;\n").is_empty());
         assert!(check_source("src/service.rs", "pub async fn serve() {}\n").is_empty());
+    }
+
+    #[test]
+    fn raw_sim_types_flagged_only_in_serve() {
+        let diags = check_source(
+            "crates/serve/src/service.rs",
+            "let r = SystemSim::new(cfg).run();\n",
+        );
+        assert_eq!(diags.first().map(|d| d.rule), Some(Rule::ServeRawConfig));
+        // The scenario layer, tests, and the rest of the workspace build
+        // and run simulators by design.
+        assert!(check_source("crates/serve/tests/service.rs", "SystemSim::new(cfg)\n").is_empty());
+        assert!(check_source("crates/bench/src/scenario.rs", "SystemSim::new(cfg)\n").is_empty());
+        // um-serve reading UM_THREADS for its pool size is outside the
+        // sim-core env fence.
+        assert!(check_source(
+            "crates/serve/src/service.rs",
+            "std::env::var(\"UM_THREADS\")\n"
+        )
+        .is_empty());
     }
 
     #[test]

@@ -1,0 +1,21 @@
+//! Fixture: raw simulator types in the service layer.
+
+/// A job handler running the simulator by hand bypasses the scenario
+/// API: fires (twice — the config and the sim type).
+pub fn run_job(rps: f64) -> RunReport {
+    SystemSim::new(SimConfig {
+        rps_per_server: rps,
+        ..SimConfig::default()
+    })
+    .run()
+}
+
+/// Same for the rack layer: fires.
+pub fn run_rack(cfg: ClusterConfig) -> ClusterReport {
+    ClusterSim::new(cfg).run()
+}
+
+/// The scenario API is the sanctioned path: must not fire.
+pub fn run_scenario(s: &um_bench::scenario::Scenario) -> Result<String, String> {
+    um_bench::scenario::run(s).map(|out| out.text)
+}

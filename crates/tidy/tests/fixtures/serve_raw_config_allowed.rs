@@ -1,0 +1,8 @@
+//! Fixture: a justified raw simulator type in the service layer.
+
+/// Suppressed with a reason: counted as debt, no diagnostic.
+pub fn inspect(rps: f64) -> usize {
+    // um-tidy: allow(serve-raw-config) -- diagnostics endpoint surfaces the expanded SimConfig list read-only
+    let configs: Vec<SimConfig> = expand(rps);
+    configs.len()
+}

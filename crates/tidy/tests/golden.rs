@@ -82,6 +82,11 @@ const CASES: &[(&str, &str, &str)] = &[
         "crates/bench/src/bin/fixture.rs",
         "scenario-inline-config",
     ),
+    (
+        "serve_raw_config",
+        "crates/serve/src/fixture.rs",
+        "serve-raw-config",
+    ),
     // allow escape hatches: suppressed diagnostics, zero output
     ("allow_escape", "crates/net/src/fixture.rs", ""),
     (
@@ -99,6 +104,11 @@ const CASES: &[(&str, &str, &str)] = &[
     (
         "scenario_inline_config_allowed",
         "crates/bench/src/bin/fixture.rs",
+        "",
+    ),
+    (
+        "serve_raw_config_allowed",
+        "crates/serve/src/fixture.rs",
         "",
     ),
     // v1 line-scanner misreads, pinned as lexer regressions
@@ -259,6 +269,7 @@ fn allowed_fixtures_register_debt() {
             "scenario_inline_config_allowed",
             "crates/bench/src/bin/fixture.rs",
         ),
+        ("serve_raw_config_allowed", "crates/serve/src/fixture.rs"),
     ] {
         let files = vec![(virtual_path.to_string(), read_fixture(name))];
         let report = um_tidy::check_files(&files);
